@@ -1,0 +1,123 @@
+package main
+
+import (
+	"testing"
+
+	"dramscope/internal/chip"
+	"dramscope/internal/core"
+	"dramscope/internal/expt"
+	"dramscope/internal/host"
+	"dramscope/internal/sim"
+	"dramscope/internal/topo"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// O(1) hammer pulse path, the stress-floor scan skip that keeps
+// incidental activations cheap, and the end-to-end cost of the blind
+// discovery pipeline.
+
+// BenchmarkAblationPulseVsExplicit quantifies the hammer fast path:
+// the same 100K-activation train via Pulse and via the explicit
+// per-command program loop (semantically identical; chip tests assert
+// equivalence).
+func BenchmarkAblationPulseVsExplicit(b *testing.B) {
+	b.Run("pulse", func(b *testing.B) {
+		h := host.New(chip.MustNew(topo.Small(), 1))
+		for i := 0; i < b.N; i++ {
+			if err := h.Hammer(0, 40, 100_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("explicit", func(b *testing.B) {
+		h := host.New(chip.MustNew(topo.Small(), 1))
+		tm := h.Target().Timing()
+		tras := int(tm.TRAS / tm.TCK)
+		trp := int(tm.TRP / tm.TCK)
+		body := host.NewProgram().Act(trp+1, 0, 40).Pre(tras, 0)
+		prog := host.NewProgram().Loop(100_000, body)
+		for i := 0; i < b.N; i++ {
+			if _, err := h.Run(prog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationScanThroughput measures the RowCopy boundary-scan
+// rate — the operation the stress-floor skip keeps at O(1) per row.
+func BenchmarkAblationScanThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := host.New(chip.MustNew(topo.Small(), 1))
+		sub, err := core.ProbeSubarrays(h, 0, &core.RowOrder{LUT: [4]int{0, 1, 3, 2}},
+			core.SubarrayScan{MaxRows: 448, Cols: []int{0, 1}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sub.ScannedRows), "rows")
+	}
+}
+
+// BenchmarkDiscoverPipeline is the end-to-end blind discovery cost on
+// the small test device.
+func BenchmarkDiscoverPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := host.New(chip.MustNew(topo.Small(), 11))
+		m, err := core.Discover(h, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Swizzle.MATWidthBits != 512 {
+			b.Fatal("pipeline result wrong")
+		}
+	}
+}
+
+// BenchmarkPressOnTimeSweep regenerates the RowPress on-time ablation
+// curve (extension of §II-D's mechanism description).
+func BenchmarkPressOnTimeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := host.New(chip.MustNew(topo.Small(), 11))
+		a := &core.AIB{H: h, Bank: 0, Order: &core.RowOrder{LUT: [4]int{0, 1, 3, 2}}}
+		pts, err := core.PressOnTimeSweep(a, []int{100, 103, 106, 109}, 2048,
+			[]sim.Time{1 * sim.Microsecond, 8 * sim.Microsecond, 64 * sim.Microsecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[len(pts)-1].BER, "maxBER")
+	}
+}
+
+// BenchmarkPowerSideChannel measures the §VI-C edge-row classification
+// by activation energy.
+func BenchmarkPowerSideChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := chip.MustNew(topo.Small(), 11)
+		h := host.New(c)
+		p := &core.PowerProbe{H: h, C: c, Bank: 0}
+		order := &core.RowOrder{LUT: [4]int{0, 1, 3, 2}}
+		edge, typical, err := p.ClassifyRows([]int{order.RowAt(10), order.RowAt(100)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(edge) != 1 || len(typical) != 1 {
+			b.Fatal("classification failed")
+		}
+	}
+}
+
+// BenchmarkFig5Module measures the module-level pitfall analysis with
+// a full 8-chip RDIMM (the catalog benches use 4 chips).
+func BenchmarkFig5Module(b *testing.B) {
+	p, ok := topo.ByName("MfrB-DDR4-x8-2017")
+	if !ok {
+		b.Fatal("profile missing")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Fig5(p, 8, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.DistinctDQImages), "dqImages")
+	}
+}

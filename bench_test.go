@@ -1,0 +1,237 @@
+// Benchmark harness: one testing.B benchmark per paper table and
+// figure (DESIGN.md §5's per-experiment index). Each benchmark runs
+// the full experiment — device construction, blind reverse-
+// engineering, and measurement — and reports the paper-facing result
+// as custom metrics so `go test -bench=.` regenerates every artifact.
+package main
+
+import (
+	"testing"
+
+	"dramscope/internal/core"
+	"dramscope/internal/expt"
+	"dramscope/internal/topo"
+)
+
+// fig12Profile is the device the paper's Figure 12 reports
+// (Mfr. A-2021 DDR4 x4).
+func fig12Profile(b *testing.B) topo.Profile {
+	b.Helper()
+	p, ok := topo.ByName("MfrA-DDR4-x4-2021")
+	if !ok {
+		b.Fatal("profile missing")
+	}
+	return p
+}
+
+func newEnv(b *testing.B, prof topo.Profile, seed uint64) *expt.Env {
+	b.Helper()
+	e, err := expt.NewEnv(prof, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkTableI regenerates the tested-device table.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if expt.TableI().String() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTableIII blindly recovers the subarray structure of the
+// representative device set.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range topo.Representative() {
+			e := newEnv(b, p, 5)
+			row, err := expt.TableIII(e)
+			if err != nil {
+				b.Fatalf("%s: %v", p.Name, err)
+			}
+			if len(row.Composition) == 0 {
+				b.Fatalf("%s: empty composition", p.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5 runs the RCD/DQ pitfall demonstration.
+func BenchmarkFig5(b *testing.B) {
+	p, _ := topo.ByName("MfrB-DDR4-x8-2017")
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Fig5(p, 4, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.RCD.PhantomNonAdjacent() || !res.RCD.Consistent() {
+			b.Fatal("pitfall demonstration failed")
+		}
+	}
+}
+
+// BenchmarkFig7 reverse-engineers the data swizzle (O1/O2).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		sm, _, err := expt.Fig7(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sm.MATWidthBits), "MATwidth")
+	}
+}
+
+// BenchmarkFig8 classifies pattern misplacement.
+func BenchmarkFig8(b *testing.B) {
+	e := newEnv(b, fig12Profile(b), 7)
+	if _, err := e.Swizzle(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := expt.Fig8(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.CorrectedClass != core.ClassColStripe {
+			b.Fatal("corrected pattern misplaced")
+		}
+	}
+}
+
+// BenchmarkFig9 detects coupled rows and edge pairing (O3/O5).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, topo.Representative()[0], 5)
+		ro, err := e.Order()
+		if err != nil {
+			b.Fatal(err)
+		}
+		coupled, err := core.ProbeCoupledRows(e.Host, 0, ro)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub, err := e.Subarrays()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !coupled.Coupled() || sub.EdgeRegionSubarrays == 0 {
+			b.Fatal("coupled/edge detection failed")
+		}
+		b.ReportMetric(float64(coupled.Distance), "coupledDist")
+	}
+}
+
+// BenchmarkFig10 measures typical vs edge BER (O6).
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		r, err := expt.Fig10(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Rates[1][1].RelativeTo(r.Rates[1][0]), "edgeRel")
+	}
+}
+
+// BenchmarkFig12 runs the eight alternation panels (O7-O10).
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		panels, err := expt.Fig12(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(panels) != 8 {
+			b.Fatal("panel count")
+		}
+	}
+}
+
+// BenchmarkFig13 derives the gate-type grouping from the Fig. 12 runs.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		panels, err := expt.Fig12(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		active := 0
+		for _, p := range panels {
+			if p.Mode == core.ModeHammer && (p.ByGate[0].Errors > 0) != (p.ByGate[1].Errors > 0) {
+				active++
+			}
+		}
+		b.ReportMetric(float64(active), "oneGatePanels")
+	}
+}
+
+// BenchmarkFig14 measures the horizontal influence factors (O11/O12).
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		r, err := expt.Fig14(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Victim[1][0], "vic2boost")
+		b.ReportMetric(r.Aggr[2][1], "aggr2damp")
+	}
+}
+
+// BenchmarkFig15 measures relative first-flip counts (O13).
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		r, err := expt.Fig15(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Relative[2][0], "allFourHcnt")
+	}
+}
+
+// BenchmarkFig16 sweeps the 256 adversarial pattern combinations
+// (O14; Figure 17 is the rendering of its worst case).
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		r, err := expt.Fig16(e, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.WorstRelative, "worstRel")
+	}
+}
+
+// BenchmarkDefense runs the §VI attack/defense scenarios.
+func BenchmarkDefense(b *testing.B) {
+	p, _ := topo.ByName("MfrA-DDR4-x4-2016")
+	for i := 0; i < b.N; i++ {
+		r, err := expt.DefenseEval(p, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.SplitVsNaive == 0 || r.SplitVsAware != 0 {
+			b.Fatal("defense scenario shape broken")
+		}
+		b.ReportMetric(float64(r.SplitVsNaive), "bypassFlips")
+	}
+}
+
+// BenchmarkScrambler evaluates the §VI-B data scrambler.
+func BenchmarkScrambler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := newEnv(b, fig12Profile(b), 7)
+		r, err := expt.ScramblerEval(e, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AdversarialRelative, "advRel")
+		b.ReportMetric(r.ScrambledRelative, "scrambledRel")
+	}
+}

@@ -1,0 +1,121 @@
+// Command dramscope runs the reverse-engineering pipeline against a
+// simulated DRAM device and prints what it uncovers — the tool-shaped
+// entry point to the library.
+//
+// Usage:
+//
+//	dramscope [-profile NAME] [-seed N] [-swizzle]
+//	dramscope -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dramscope/internal/chip"
+	"dramscope/internal/core"
+	"dramscope/internal/host"
+	"dramscope/internal/stats"
+	"dramscope/internal/topo"
+)
+
+func main() {
+	profile := flag.String("profile", "MfrA-DDR4-x4-2016", "device profile to probe (see -list)")
+	seed := flag.Uint64("seed", 1, "fault-map seed")
+	list := flag.Bool("list", false, "list available device profiles")
+	swizzle := flag.Bool("swizzle", false, "also reverse-engineer the data swizzle (slower)")
+	flag.Parse()
+
+	if *list {
+		fmt.Print(expandedCatalog())
+		return
+	}
+	if err := run(*profile, *seed, *swizzle); err != nil {
+		fmt.Fprintln(os.Stderr, "dramscope:", err)
+		os.Exit(1)
+	}
+}
+
+func expandedCatalog() string {
+	t := stats.NewTable("Profile", "Kind", "Vendor", "Coupled", "Remap", "MAT width", "Cells")
+	for _, p := range topo.Catalog() {
+		t.Row(p.Name, p.Kind, p.Vendor, p.Coupled, p.RowRemap, p.MATWidth, p.Scheme)
+	}
+	return t.String()
+}
+
+func run(name string, seed uint64, withSwizzle bool) error {
+	prof, ok := topo.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown profile %q (try -list)", name)
+	}
+	c, err := chip.New(prof, seed)
+	if err != nil {
+		return err
+	}
+	h := host.New(c)
+	fmt.Printf("Probing %s (bank 0, %d rows x %d cols x %d-bit bursts)\n\n",
+		prof.Name, h.Rows(), h.Columns(), h.DataWidth())
+
+	ro, err := core.ProbeRowOrder(h, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Row order: remapped=%v LUT=%v\n", ro.Remapped(), ro.LUT)
+
+	sub, err := core.ProbeSubarrays(h, 0, ro, core.DefaultSubarrayScan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Subarrays: %d boundaries in %d scanned rows; heights %v...\n",
+		len(sub.Boundaries), sub.ScannedRows, head(sub.Heights, 8))
+	fmt.Printf("  open bitline: %v, cross-boundary copy inverted: %v\n",
+		sub.OpenBitline, sub.InvertedCopy)
+	fmt.Printf("  edge region: %d subarrays; region gaps at %v\n",
+		sub.EdgeRegionSubarrays, sub.RegionEdges)
+
+	coupled, err := core.ProbeCoupledRows(h, 0, ro)
+	if err != nil {
+		return err
+	}
+	if coupled.Coupled() {
+		fmt.Printf("Coupled rows: (n, n+%d) alias one wordline\n", coupled.Distance)
+	} else {
+		fmt.Println("Coupled rows: none detected")
+	}
+
+	pol, err := core.ProbeCellPolarity(h, 0, sub)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Cell polarity: interleaved=%v anti-by-subarray=%v...\n",
+		pol.Interleaved, headBool(pol.AntiBySubarray, 6))
+
+	if withSwizzle {
+		sm, err := core.ProbeSwizzle(h, 0, ro, sub, pol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nData swizzle: %d MATs x %d bits per burst, MAT width %d cells, column stride %d\n",
+			sm.MATsPerBurst(), sm.BitsPerMAT, sm.MATWidthBits, sm.ColumnStride)
+		for i, ord := range sm.Orders {
+			fmt.Printf("  MAT %d cell order: %v\n", i, ord)
+		}
+	}
+	return nil
+}
+
+func head(xs []int, n int) []int {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}
+
+func headBool(xs []bool, n int) []bool {
+	if len(xs) > n {
+		return xs[:n]
+	}
+	return xs
+}

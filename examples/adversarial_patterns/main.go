@@ -1,0 +1,47 @@
+// Adversarial patterns: recover the data swizzle, then use it to
+// place the paper's worst-case data arrangement (O13/O14) and compare
+// bit error rates across pattern combinations — Figures 14 and 16.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dramscope/internal/expt"
+	"dramscope/internal/topo"
+)
+
+func main() {
+	p, ok := topo.ByName("MfrA-DDR4-x4-2021")
+	if !ok {
+		log.Fatal("profile missing")
+	}
+	e, err := expt.NewEnv(p, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("reverse-engineering the data swizzle...")
+	sm, _, err := expt.Fig7(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d MATs x %d bits per burst, MAT width %d\n\n",
+		sm.MATsPerBurst(), sm.BitsPerMAT, sm.MATWidthBits)
+
+	fmt.Println("horizontal influence (Figure 14)...")
+	f14, err := expt.Fig14(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(expt.RenderFig14(f14))
+
+	fmt.Println("4-cell pattern sweep (Figure 16)...")
+	f16, err := expt.Fig16(e, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(expt.RenderFig16(f16))
+	fmt.Printf("worst case: victim %#x / aggressor %#x at %.2fx the baseline BER\n",
+		f16.WorstVictim, f16.WorstAggr, f16.WorstRelative)
+}

@@ -1,0 +1,37 @@
+// Defense evaluation: run the §VI coupled-row attack scenarios
+// against MC-side trackers, row swapping, DRFM, and the data
+// scrambler.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dramscope/internal/expt"
+	"dramscope/internal/topo"
+)
+
+func main() {
+	p, ok := topo.ByName("MfrA-DDR4-x4-2016")
+	if !ok {
+		log.Fatal("profile missing")
+	}
+	fmt.Println("running coupled-row attack/defense scenarios...")
+	r, err := expt.DefenseEval(p, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(r.Render())
+
+	p21, _ := topo.ByName("MfrA-DDR4-x4-2021")
+	e, err := expt.NewEnv(p21, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("evaluating the §VI-B data scrambler against the O14 pattern...")
+	s, err := expt.ScramblerEval(e, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.Render())
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a simulated DDR4 chip, hammer a row through the
+// command interface, and watch the adjacent row flip — then recover
+// the device's internal row order the way DRAMScope does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dramscope/internal/chip"
+	"dramscope/internal/core"
+	"dramscope/internal/host"
+	"dramscope/internal/topo"
+)
+
+func main() {
+	prof, ok := topo.ByName("MfrA-DDR4-x4-2016")
+	if !ok {
+		log.Fatal("profile missing")
+	}
+	c, err := chip.New(prof, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := host.New(c)
+
+	// Fill a victim row with 1s and hammer a neighboring address.
+	const victim, aggressor = 33, 32
+	ones := uint64(1)<<uint(h.DataWidth()) - 1
+	if err := h.FillRow(0, victim, ones); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.FillRow(0, aggressor, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := h.Hammer(0, aggressor, 600_000); err != nil {
+		log.Fatal(err)
+	}
+	got, err := h.ReadRow(0, victim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flips := 0
+	for _, v := range got {
+		for d := v ^ ones; d != 0; d &= d - 1 {
+			flips++
+		}
+	}
+	fmt.Printf("RowHammer: %d activations of row %d flipped %d bits in row %d\n",
+		600_000, aggressor, flips, victim)
+
+	// Now do it like DRAMScope: recover the internal row order from
+	// bitflips alone (Mfr. A devices scramble 4-row groups).
+	order, err := core.ProbeRowOrder(h, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Recovered row order: remapped=%v LUT=%v\n", order.Remapped(), order.LUT)
+	fmt.Printf("Address %d physically neighbors addresses %d and %d\n",
+		aggressor,
+		order.RowAt(order.PhysIndex(aggressor)-1),
+		order.RowAt(order.PhysIndex(aggressor)+1))
+}

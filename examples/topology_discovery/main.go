@@ -1,0 +1,39 @@
+// Topology discovery: run the full DRAMScope pipeline against several
+// simulated devices and print the recovered microarchitecture —
+// the reproduction of Table III.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dramscope/internal/expt"
+	"dramscope/internal/topo"
+)
+
+func main() {
+	profiles := []string{
+		"MfrA-DDR4-x4-2016", // 11x640 + 2x576, coupled, remapped
+		"MfrC-DDR4-x8-2016", // 1x688 + 2x680, true/anti interleaved
+		"MfrA-HBM2-4Hi",     // HBM2, 8K coupled distance
+	}
+	var rows []*expt.TableIIIRow
+	for _, name := range profiles {
+		p, ok := topo.ByName(name)
+		if !ok {
+			log.Fatalf("profile %s missing", name)
+		}
+		e, err := expt.NewEnv(p, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("probing %s...\n", name)
+		row, err := expt.TableIII(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	fmt.Println()
+	fmt.Println(expt.RenderTableIII(rows))
+}

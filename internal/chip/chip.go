@@ -1,0 +1,608 @@
+// Package chip simulates a DRAM chip at the level DRAMScope needs: a
+// command interface with explicit timestamps over banks of physical
+// wordlines, with microarchitecturally faithful behaviour for
+// activate-induced bitflips, RowPress, retention decay, and RowCopy
+// charge sharing.
+//
+// # State model
+//
+// Cell state is stored as *charge* (not data) per physical wordline,
+// allocated lazily. Data polarity goes through the true-/anti-cell
+// layout of the device's topology. Fault effects are materialized
+// lazily: each wordline remembers snapshots of its neighbors'
+// cumulative activation counters from the moment it was last restored
+// (activated, written, or refreshed); when it is next touched, the
+// counter deltas are turned into bitflips via the fault model. This is
+// both fast (hammer loops cost O(1) per activation) and faithful
+// (activating a victim restores its cells, which is why real RowHammer
+// requires the victim row to stay closed).
+//
+// # Untouched rows
+//
+// Rows never written behave as discharged since power-on. Their data
+// reads as 0 on true-cell subarrays and 1 on anti-cell subarrays.
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"dramscope/internal/faults"
+	"dramscope/internal/geom"
+	"dramscope/internal/sim"
+	"dramscope/internal/swizzle"
+	"dramscope/internal/topo"
+)
+
+// Chip is one simulated DRAM chip.
+type Chip struct {
+	prof   topo.Profile
+	topo   *topo.Topology
+	cmap   *swizzle.ColumnMap
+	fp     faults.Params
+	timing sim.Timing
+	banks  []*bank
+	now    sim.Time
+
+	words int // 64-bit words per wordline
+}
+
+type bank struct {
+	openWL    int // open physical wordline, or -1
+	openHalf  int // MAT half of the addressed logical row
+	openSince sim.Time
+	lastPre   sim.Time
+	latchWL   int      // wordline whose charge the bitlines still hold, or -1
+	latch     []uint64 // bitline charge snapshot taken at PRE
+
+	rows  map[int]*rowState
+	acts  map[int]int64   // cumulative activations per wordline
+	press map[int]float64 // cumulative over-tRAS on-time per wordline (ps)
+
+	wlActs int64 // wordlines driven (edge rows count twice): energy proxy
+}
+
+type rowState struct {
+	charge []uint64
+	// Neighbor counter snapshots at the last restore of this row.
+	snapUp, snapDown   int64
+	pressUp, pressDown float64
+	lastRestore        sim.Time
+}
+
+// New builds a chip from a device profile with the given fault seed.
+func New(prof topo.Profile, seed uint64) (*Chip, error) {
+	t, err := prof.Build()
+	if err != nil {
+		return nil, err
+	}
+	cm, err := columnMapFor(prof)
+	if err != nil {
+		return nil, err
+	}
+	fp := faults.Default(seed)
+	fp.BaseScale = vendorScale(prof)
+	c := &Chip{
+		prof:   prof,
+		topo:   t,
+		cmap:   cm,
+		fp:     fp,
+		timing: prof.Timing,
+		words:  prof.RowBits / 64,
+	}
+	for i := 0; i < prof.Banks; i++ {
+		c.banks = append(c.banks, &bank{
+			openWL:  -1,
+			latchWL: -1,
+			lastPre: math.MinInt64 / 2,
+			rows:    make(map[int]*rowState),
+			acts:    make(map[int]int64),
+			press:   make(map[int]float64),
+		})
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(prof topo.Profile, seed uint64) *Chip {
+	c, err := New(prof, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// columnMapFor derives the swizzle geometry from the profile.
+func columnMapFor(prof topo.Profile) (*swizzle.ColumnMap, error) {
+	dataWidth := prof.ChipWidth * 8
+	src := swizzle.AllMATs
+	switch {
+	case prof.Coupled:
+		src = swizzle.RowHalf
+	case prof.ChipWidth == 4:
+		src = swizzle.ColumnLSB
+	}
+	return swizzle.NewColumnMap(prof.RowBits, prof.MATWidth, dataWidth, src)
+}
+
+// vendorScale sets the per-vendor absolute AIB rate (Fig. 10 shows
+// vendor-distinct base BERs; shape, not absolute value, is what the
+// reproduction preserves).
+func vendorScale(prof topo.Profile) float64 {
+	switch {
+	case prof.Kind == "HBM2":
+		return 0.8
+	case prof.Vendor == "B":
+		return 0.6
+	case prof.Vendor == "C":
+		return 0.35
+	default:
+		return 1.0
+	}
+}
+
+// --- accessors ---
+
+// Profile returns the device profile.
+func (c *Chip) Profile() topo.Profile { return c.prof }
+
+// Topology exposes the ground-truth topology. Reverse-engineering
+// probes must not call this; it exists for validation and experiment
+// bookkeeping.
+func (c *Chip) Topology() *topo.Topology { return c.topo }
+
+// ColumnMap exposes the ground-truth swizzle map (validation only).
+func (c *Chip) ColumnMap() *swizzle.ColumnMap { return c.cmap }
+
+// FaultParams returns the fault model parameters in effect.
+func (c *Chip) FaultParams() faults.Params { return c.fp }
+
+// Timing returns the timing parameter set.
+func (c *Chip) Timing() sim.Timing { return c.timing }
+
+// Now returns the current simulated time.
+func (c *Chip) Now() sim.Time { return c.now }
+
+// Banks returns the number of banks.
+func (c *Chip) Banks() int { return len(c.banks) }
+
+// Rows returns the number of addressable rows per bank.
+func (c *Chip) Rows() int { return c.topo.LogicalRows() }
+
+// Columns returns the number of bursts per row.
+func (c *Chip) Columns() int { return c.cmap.Columns() }
+
+// DataWidth returns the burst width in bits.
+func (c *Chip) DataWidth() int { return c.cmap.DataWidth() }
+
+// WordlineActivations returns the cumulative number of wordlines
+// driven in a bank (edge-subarray rows drive their tandem partner too,
+// counting twice) — the activation-energy proxy used by the §VI
+// power side-channel discussion.
+func (c *Chip) WordlineActivations(bankID int) int64 { return c.banks[bankID].wlActs }
+
+// --- command execution ---
+
+// Exec applies one timed command. For RD it returns the burst data.
+// Commands must be issued in non-decreasing time order.
+func (c *Chip) Exec(cmd sim.Command) (uint64, error) {
+	if cmd.At < c.now {
+		return 0, fmt.Errorf("chip: command %v is before current time %v", cmd, c.now)
+	}
+	if cmd.Op != sim.NOP {
+		if cmd.Bank < 0 || cmd.Bank >= len(c.banks) {
+			return 0, fmt.Errorf("chip: bank %d out of range", cmd.Bank)
+		}
+	}
+	c.now = cmd.At
+	switch cmd.Op {
+	case sim.NOP:
+		return 0, nil
+	case sim.ACT:
+		return 0, c.activate(cmd.Bank, cmd.Row, cmd.At)
+	case sim.PRE:
+		return 0, c.precharge(cmd.Bank, cmd.At)
+	case sim.RD:
+		return c.read(cmd.Bank, cmd.Col, cmd.At)
+	case sim.WR:
+		return 0, c.write(cmd.Bank, cmd.Col, cmd.Data, cmd.At)
+	case sim.REF:
+		return 0, c.refresh(cmd.Bank, cmd.At)
+	default:
+		return 0, fmt.Errorf("chip: unknown op %v", cmd.Op)
+	}
+}
+
+// AdvanceTo moves simulated time forward without issuing a command
+// (retention waits).
+func (c *Chip) AdvanceTo(t sim.Time) error {
+	if t < c.now {
+		return fmt.Errorf("chip: cannot advance backwards (%v < %v)", t, c.now)
+	}
+	c.now = t
+	return nil
+}
+
+func (c *Chip) activate(bankID, row int, t sim.Time) error {
+	b := c.banks[bankID]
+	if b.openWL >= 0 {
+		return fmt.Errorf("chip: ACT on bank %d with row already open", bankID)
+	}
+	if row < 0 || row >= c.topo.LogicalRows() {
+		return fmt.Errorf("chip: row %d out of range [0,%d)", row, c.topo.LogicalRows())
+	}
+	wl, half := c.topo.MapRow(row)
+
+	gap := t - b.lastPre
+	rs := c.materialize(bankID, wl, t)
+	if b.latchWL >= 0 && gap <= c.timing.RowCopyMaxGap {
+		c.chargeShare(b, rs, wl)
+	}
+
+	b.acts[wl]++
+	b.wlActs++
+	if _, edge := c.topo.EdgePartnerWL(wl); edge {
+		b.wlActs++ // tandem partner wordline is driven too
+	}
+	b.openWL = wl
+	b.openHalf = half
+	b.openSince = t
+	return nil
+}
+
+// chargeShare overwrites the destination row's cells with the residual
+// bitline charge of the previously sensed row (RowCopy, §III-B).
+func (c *Chip) chargeShare(b *bank, dst *rowState, dstWL int) {
+	rel := c.topo.CopyRelationOf(b.latchWL, dstWL)
+	if rel == topo.CopyNone {
+		return
+	}
+	for x := 0; x < c.prof.RowBits; x++ {
+		covered, inverted := c.topo.CopyCovers(rel, b.latchWL, x)
+		if !covered {
+			continue
+		}
+		v := getBit(b.latch, x)
+		if inverted {
+			v = !v
+		}
+		setBit(dst.charge, x, v)
+	}
+}
+
+func (c *Chip) precharge(bankID int, t sim.Time) error {
+	b := c.banks[bankID]
+	if b.openWL < 0 {
+		return nil // PRE on an idle bank is a legal no-op
+	}
+	wl := b.openWL
+	tOn := t - b.openSince
+	if tOn < c.timing.TCK {
+		return fmt.Errorf("chip: PRE %v after ACT is below one tCK", tOn)
+	}
+	if over := tOn - c.timing.TRAS; over > 0 {
+		b.press[wl] += float64(over)
+	}
+	// Latch the bitline state for a potential RowCopy.
+	rs := c.rowStateFor(b, wl)
+	if b.latch == nil {
+		b.latch = make([]uint64, c.words)
+	}
+	copy(b.latch, rs.charge)
+	b.latchWL = wl
+	b.lastPre = t
+	b.openWL = -1
+	return nil
+}
+
+func (c *Chip) read(bankID, col int, t sim.Time) (uint64, error) {
+	b := c.banks[bankID]
+	if err := c.checkColumnAccess(b, col, t); err != nil {
+		return 0, err
+	}
+	rs := c.rowStateFor(b, b.openWL)
+	anti := c.topo.AntiCells(c.topo.SubarrayOf(b.openWL))
+	var data uint64
+	for bit := 0; bit < c.cmap.DataWidth(); bit++ {
+		x := c.cmap.PhysBL(col, bit, b.openHalf)
+		v := getBit(rs.charge, x)
+		if anti {
+			v = !v
+		}
+		if v {
+			data |= 1 << uint(bit)
+		}
+	}
+	return data, nil
+}
+
+func (c *Chip) write(bankID, col int, data uint64, t sim.Time) error {
+	b := c.banks[bankID]
+	if err := c.checkColumnAccess(b, col, t); err != nil {
+		return err
+	}
+	rs := c.rowStateFor(b, b.openWL)
+	anti := c.topo.AntiCells(c.topo.SubarrayOf(b.openWL))
+	for bit := 0; bit < c.cmap.DataWidth(); bit++ {
+		x := c.cmap.PhysBL(col, bit, b.openHalf)
+		v := data&(1<<uint(bit)) != 0
+		if anti {
+			v = !v
+		}
+		setBit(rs.charge, x, v)
+	}
+	return nil
+}
+
+func (c *Chip) checkColumnAccess(b *bank, col int, t sim.Time) error {
+	if b.openWL < 0 {
+		return fmt.Errorf("chip: column access with no open row")
+	}
+	if t-b.openSince < c.timing.TRCD {
+		return fmt.Errorf("chip: column access %v after ACT violates tRCD (%v)",
+			t-b.openSince, c.timing.TRCD)
+	}
+	if col < 0 || col >= c.cmap.Columns() {
+		return fmt.Errorf("chip: column %d out of range [0,%d)", col, c.cmap.Columns())
+	}
+	return nil
+}
+
+func (c *Chip) refresh(bankID int, t sim.Time) error {
+	b := c.banks[bankID]
+	if b.openWL >= 0 {
+		return fmt.Errorf("chip: REF on bank %d with a row open", bankID)
+	}
+	// Lazy all-rows refresh: materialize and re-snapshot every row
+	// that has state. Stateless rows are discharged and cannot decay.
+	for wl := range b.rows {
+		c.materialize(bankID, wl, t)
+	}
+	return nil
+}
+
+// --- fast hammer/press pulse path ---
+
+// Pulse issues n back-to-back ACT(row)/PRE pairs, each keeping the row
+// open for tOn with a tGap precharge gap, starting at the current
+// time. It is semantically identical to the explicit command loop
+// (asserted by tests) but costs O(1).
+//
+// tGap must exceed RowCopyMaxGap: a hammer loop precharges fully
+// between activations; use explicit commands to exercise RowCopy.
+func (c *Chip) Pulse(bankID, row, n int, tOn, tGap sim.Time) error {
+	if n <= 0 {
+		return fmt.Errorf("chip: Pulse needs a positive count")
+	}
+	if tOn < c.timing.TCK {
+		return fmt.Errorf("chip: Pulse tOn %v below one tCK", tOn)
+	}
+	if tGap <= c.timing.RowCopyMaxGap {
+		return fmt.Errorf("chip: Pulse tGap %v would trigger RowCopy; use explicit commands", tGap)
+	}
+	b := c.banks[bankID]
+	if b.openWL >= 0 {
+		return fmt.Errorf("chip: Pulse on bank %d with row open", bankID)
+	}
+	if row < 0 || row >= c.topo.LogicalRows() {
+		return fmt.Errorf("chip: row %d out of range", row)
+	}
+	wl, _ := c.topo.MapRow(row)
+
+	// A hammer loop always begins from a fully precharged bank: align
+	// the first activation past tRP so the train can never
+	// charge-share with whatever row was sensed last.
+	if earliest := b.lastPre + c.timing.TRP; c.now < earliest {
+		c.now = earliest
+	}
+	rs := c.materialize(bankID, wl, c.now)
+
+	b.acts[wl] += int64(n)
+	perWL := int64(1)
+	if _, edge := c.topo.EdgePartnerWL(wl); edge {
+		perWL = 2
+	}
+	b.wlActs += perWL * int64(n)
+	if over := tOn - c.timing.TRAS; over > 0 {
+		b.press[wl] += float64(over) * float64(n)
+	}
+	end := c.now + sim.Time(n)*(tOn+tGap)
+	if b.latch == nil {
+		b.latch = make([]uint64, c.words)
+	}
+	copy(b.latch, rs.charge)
+	b.latchWL = wl
+	b.lastPre = end
+	c.now = end
+	return nil
+}
+
+// --- fault materialization ---
+
+// rowStateFor returns (creating lazily) the state of a wordline
+// WITHOUT materializing pending faults. Callers on the access path
+// must use materialize instead.
+func (c *Chip) rowStateFor(b *bank, wl int) *rowState {
+	rs := b.rows[wl]
+	if rs == nil {
+		rs = &rowState{charge: make([]uint64, c.words)}
+		b.rows[wl] = rs
+	}
+	return rs
+}
+
+// materialize applies all pending fault effects (hammer, press,
+// retention) to a wordline and re-snapshots it as restored at time t.
+func (c *Chip) materialize(bankID, wl int, t sim.Time) *rowState {
+	b := c.banks[bankID]
+	rs := c.rowStateFor(b, wl)
+
+	var upWL, downWL = wl + 1, wl - 1
+	upOK := upWL < c.topo.PhysRows() && c.topo.SameSubarray(wl, upWL)
+	downOK := downWL >= 0 && c.topo.SameSubarray(wl, downWL)
+
+	var dUpActs, dDownActs int64
+	var dUpPress, dDownPress float64
+	if upOK {
+		dUpActs = b.acts[upWL] - rs.snapUp
+		dUpPress = b.press[upWL] - rs.pressUp
+	}
+	if downOK {
+		dDownActs = b.acts[downWL] - rs.snapDown
+		dDownPress = b.press[downWL] - rs.pressDown
+	}
+	elapsed := t - rs.lastRestore
+
+	// Skip the per-cell scan when the accumulated stress provably
+	// cannot flip anything (stress floors in the fault model): this
+	// keeps incidental activations — row scans, RowCopy sequences —
+	// at O(1) instead of O(RowBits).
+	hammerBound := float64(dUpActs+dDownActs) * c.fp.MaxHammerFactor()
+	pressBound := (dUpPress + dDownPress) * c.fp.MaxPressFactor()
+	hasAIB := hammerBound >= c.fp.HammerMinStress || pressBound >= c.fp.PressMinStress
+	// Retention can only matter if some cell's charge may exceed the
+	// minimum retention time.
+	hasRet := elapsed > sim.Time(c.fp.RetentionMinSec*float64(sim.Second))
+
+	if hasAIB || hasRet {
+		c.applyFaults(bankID, b, rs, wl, t,
+			dUpActs, dDownActs, dUpPress, dDownPress, elapsed, upOK, downOK)
+	}
+
+	if upOK {
+		rs.snapUp = b.acts[upWL]
+		rs.pressUp = b.press[upWL]
+	}
+	if downOK {
+		rs.snapDown = b.acts[downWL]
+		rs.pressDown = b.press[downWL]
+	}
+	rs.lastRestore = t
+	return rs
+}
+
+func (c *Chip) applyFaults(bankID int, b *bank, rs *rowState, wl int, t sim.Time,
+	dUpActs, dDownActs int64, dUpPress, dDownPress float64,
+	elapsed sim.Time, upOK, downOK bool) {
+
+	var upCharge, downCharge []uint64
+	if upOK {
+		if s := b.rows[wl+1]; s != nil {
+			upCharge = s.charge
+		}
+	}
+	if downOK {
+		if s := b.rows[wl-1]; s != nil {
+			downCharge = s.charge
+		}
+	}
+	edge := c.topo.IsEdgeSubarray(c.topo.SubarrayOf(wl))
+
+	neighborTri := func(charges []uint64, x int) faults.Tri {
+		if charges == nil {
+			return 0 // unwritten rows are discharged
+		}
+		return faults.TriOf(getBit(charges, x))
+	}
+
+	var flips []int
+	for x := 0; x < c.prof.RowBits; x++ {
+		charged := getBit(rs.charge, x)
+		flip := false
+
+		// Retention decay first: cheapest test.
+		if charged && c.fp.RetentionFlips(bankID, wl, x, true, elapsed) {
+			flip = true
+		}
+
+		if !flip && (dUpActs > 0 || dDownActs > 0 || dUpPress > 0 || dDownPress > 0) {
+			n := faults.Neighborhood{WL: wl, BL: x, Charged: charged, Edge: edge}
+			for d := -2; d <= 2; d++ {
+				xx := x + d
+				if xx < 0 || xx >= c.prof.RowBits || !c.cmap.SameMAT(x, xx) {
+					n.Vic[2+d] = faults.Absent
+					n.Aggr[2+d] = faults.Absent
+					continue
+				}
+				n.Vic[2+d] = faults.TriOf(getBit(rs.charge, xx))
+				n.Aggr[2+d] = faults.Absent
+			}
+
+			var hammerStress, pressStress float64
+			if dUpActs > 0 || dUpPress > 0 {
+				nu := n
+				nu.Dir = geom.Upper
+				for d := -2; d <= 2; d++ {
+					if nu.Vic[2+d] != faults.Absent {
+						nu.Aggr[2+d] = neighborTri(upCharge, x+d)
+					}
+				}
+				if dUpActs > 0 {
+					hammerStress += float64(dUpActs) * c.fp.HammerFactor(nu)
+				}
+				if dUpPress > 0 {
+					pressStress += dUpPress * c.fp.PressFactor(nu)
+				}
+			}
+			if dDownActs > 0 || dDownPress > 0 {
+				nd := n
+				nd.Dir = geom.Lower
+				for d := -2; d <= 2; d++ {
+					if nd.Vic[2+d] != faults.Absent {
+						nd.Aggr[2+d] = neighborTri(downCharge, x+d)
+					}
+				}
+				if dDownActs > 0 {
+					hammerStress += float64(dDownActs) * c.fp.HammerFactor(nd)
+				}
+				if dDownPress > 0 {
+					pressStress += dDownPress * c.fp.PressFactor(nd)
+				}
+			}
+			if hammerStress > 0 && c.fp.HammerFlips(bankID, wl, x, hammerStress) {
+				flip = true
+			}
+			if !flip && pressStress > 0 && c.fp.PressFlips(bankID, wl, x, pressStress) {
+				flip = true
+			}
+		}
+
+		if flip {
+			flips = append(flips, x)
+		}
+	}
+	for _, x := range flips {
+		setBit(rs.charge, x, !getBit(rs.charge, x))
+	}
+}
+
+// --- test/inspection helpers ---
+
+// InspectCharge returns the raw stored charge of a cell without
+// materializing pending faults. For tests and ground-truth validation
+// only; probes must use RD.
+func (c *Chip) InspectCharge(bankID, wl, x int) bool {
+	b := c.banks[bankID]
+	rs := b.rows[wl]
+	if rs == nil {
+		return false
+	}
+	return getBit(rs.charge, x)
+}
+
+// TouchedRows returns how many wordlines hold state in a bank.
+func (c *Chip) TouchedRows(bankID int) int { return len(c.banks[bankID].rows) }
+
+// --- bit helpers ---
+
+func getBit(words []uint64, x int) bool {
+	return words[x>>6]&(1<<uint(x&63)) != 0
+}
+
+func setBit(words []uint64, x int, v bool) {
+	if v {
+		words[x>>6] |= 1 << uint(x&63)
+	} else {
+		words[x>>6] &^= 1 << uint(x&63)
+	}
+}

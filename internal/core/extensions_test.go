@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"dramscope/internal/chip"
+	"dramscope/internal/host"
+	"dramscope/internal/sim"
+	"dramscope/internal/topo"
+)
+
+// §VI-C: activation energy distinguishes edge-subarray rows from
+// typical rows (the tandem partner doubles the wordline count).
+func TestPowerProbeClassifiesEdgeRows(t *testing.T) {
+	c := chip.MustNew(topo.Small(), 11)
+	h := host.New(c)
+	p := &PowerProbe{H: h, C: c, Bank: 0}
+	order := recoverOrder()
+	// Rows: physical 10 (subarray 0, edge) and 100 (subarray 1,
+	// typical), through the probe's blind interface.
+	rows := []int{order.RowAt(10), order.RowAt(100)}
+	edge, typical, err := p.ClassifyRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edge) != 1 || edge[0] != rows[0] {
+		t.Fatalf("edge classification wrong: %v", edge)
+	}
+	if len(typical) != 1 || typical[0] != rows[1] {
+		t.Fatalf("typical classification wrong: %v", typical)
+	}
+}
+
+// The ACT-PRE-ACT technique must agree with the RowCopy-derived
+// boundaries — the cross-validation the paper describes in §IV-C.
+func TestActPreActCrossValidation(t *testing.T) {
+	h := small(t)
+	order := recoverOrder()
+	sub := &SubarrayLayout{Boundaries: []int{63, 159, 223, 287, 383}, RegionEdges: []int{223}}
+
+	ok, err := CrossValidateBoundary(h, 0, order, sub, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ACT-PRE-ACT disagrees with the RowCopy boundary at 63")
+	}
+	// Same-subarray rows are trivially related.
+	rel, err := ActPreActRelated(h, 0, order.RowAt(70), order.RowAt(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Fatal("same-subarray rows must share bitlines")
+	}
+	// Rows in non-adjacent, non-partnered subarrays are unrelated.
+	rel, err = ActPreActRelated(h, 0, order.RowAt(10), order.RowAt(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Fatal("distant subarrays must not share bitlines")
+	}
+}
+
+// The RowPress defining curve: BER grows monotonically with the
+// aggressor's on-time at fixed activation count.
+func TestPressOnTimeSweepMonotone(t *testing.T) {
+	h := small(t)
+	a := &AIB{H: h, Bank: 0, Order: recoverOrder()}
+	tOns := []sim.Time{
+		1 * sim.Microsecond,
+		4 * sim.Microsecond,
+		16 * sim.Microsecond,
+		64 * sim.Microsecond,
+	}
+	pts, err := PressOnTimeSweep(a, []int{100, 103, 106, 109}, 2048, tOns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[len(pts)-1].BER == 0 {
+		t.Fatal("longest on-time must flip cells")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].BER < pts[i-1].BER {
+			t.Fatalf("BER not monotone in on-time: %v", pts)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"dramscope/internal/host"
+)
+
+// HcntMeter measures exact first-flip activation counts (Hcnt) for
+// individual victim cells under controlled neighborhood data patterns
+// (§V-D, Figure 15). It relies on a recovered SwizzleMap to place
+// data at precise physical distances from the target — the paper's
+// point that adversarial patterns require accurate swizzle knowledge.
+type HcntMeter struct {
+	H     *host.Host
+	Bank  int
+	Order *RowOrder
+	Map   *SwizzleMap
+}
+
+// HcntTarget is a weak victim cell usable for threshold measurements.
+type HcntTarget struct {
+	Row, Aggr int // addressed victim row and its upper-neighbor aggressor
+	Col, Bit  int
+	Value     uint64 // the target cell's data value (0 or 1)
+}
+
+// FindTargets hunts weak victim cells holding the given data value,
+// starting at the given physical row, using up to pairs victim rows.
+func (m *HcntMeter) FindTargets(basePhys, pairs int, value uint64, want int) ([]HcntTarget, error) {
+	h := m.H
+	ones := allOnes(h)
+	vfill, afill := uint64(0), ones
+	if value != 0 {
+		vfill, afill = ones, 0
+	}
+	var out []HcntTarget
+	for k := 0; k < pairs && len(out) < want; k++ {
+		vp := basePhys + 3*k
+		victim := m.Order.RowAt(vp)
+		aggr := m.Order.RowAt(vp + 1)
+		if err := h.FillRow(m.Bank, victim, vfill); err != nil {
+			return nil, err
+		}
+		if err := h.FillRow(m.Bank, aggr, afill); err != nil {
+			return nil, err
+		}
+		if err := h.Hammer(m.Bank, aggr, huntActs); err != nil {
+			return nil, err
+		}
+		got, err := h.ReadRow(m.Bank, victim)
+		if err != nil {
+			return nil, err
+		}
+		for col := 2; col < h.Columns()-2 && len(out) < want; col++ {
+			diff := got[col] ^ vfill
+			for b := 0; diff != 0 && b < h.DataWidth(); b++ {
+				if diff&(1<<uint(b)) != 0 {
+					out = append(out, HcntTarget{Row: victim, Aggr: aggr, Col: col, Bit: b, Value: value})
+					break // at most one target per column keeps neighborhoods disjoint
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no weak cells with value %d found", value)
+	}
+	return out, nil
+}
+
+// Pattern describes the neighborhood arrangement for a measurement:
+// the distances (in physical cells) at which victim-row cells hold the
+// opposite of the target's value. The aggressor row stays solid
+// opposite, matching Figure 15's setup.
+type Pattern struct {
+	OppositeAt []int // e.g. {-1, 1} or {-2, -1, 1, 2}
+}
+
+// MeasureHcnt bisects the target's exact first-flip activation count
+// under the pattern.
+func (m *HcntMeter) MeasureHcnt(t HcntTarget, pat Pattern) (int, error) {
+	lo, hi := 1, huntActs
+	flip, err := m.trial(t, pat, hi)
+	if err != nil {
+		return 0, err
+	}
+	if !flip {
+		return 0, fmt.Errorf("core: target did not flip at the hunt budget; not a weak cell")
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		flip, err := m.trial(t, pat, mid)
+		if err != nil {
+			return 0, err
+		}
+		if flip {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+// trial arms the victim's local pattern, hammers n times, and reads
+// the target bit.
+func (m *HcntMeter) trial(t HcntTarget, pat Pattern, n int) (bool, error) {
+	h := m.H
+	base := uint64(0)
+	if t.Value != 0 {
+		base = allOnes(h)
+	}
+	// Victim pattern over the five columns around the target.
+	local := map[int]uint64{}
+	for c := t.Col - 2; c <= t.Col+2; c++ {
+		local[c] = base
+	}
+	for _, d := range pat.OppositeAt {
+		nc, nb, ok := m.Map.Neighbor(t.Col, t.Bit, d)
+		if !ok || nc < 0 || nc >= h.Columns() {
+			return false, fmt.Errorf("core: pattern distance %d leaves the row", d)
+		}
+		if _, tracked := local[nc]; !tracked {
+			return false, fmt.Errorf("core: neighbor at distance %d outside the armed window", d)
+		}
+		local[nc] ^= 1 << uint(nb)
+	}
+	cols := make([]int, 0, len(local))
+	for c := t.Col - 2; c <= t.Col+2; c++ {
+		if c >= 0 && c < h.Columns() {
+			cols = append(cols, c)
+		}
+	}
+	data := make([]uint64, len(cols))
+	aggrData := make([]uint64, len(cols))
+	aggrFill := allOnes(h) ^ base // solid opposite of the target value
+	for i, c := range cols {
+		data[i] = local[c]
+		aggrData[i] = aggrFill
+	}
+	if err := h.WriteCols(m.Bank, t.Row, cols, data); err != nil {
+		return false, err
+	}
+	if err := h.WriteCols(m.Bank, t.Aggr, cols, aggrData); err != nil {
+		return false, err
+	}
+	if err := h.Hammer(m.Bank, t.Aggr, n); err != nil {
+		return false, err
+	}
+	got, err := h.ReadCols(m.Bank, t.Row, []int{t.Col})
+	if err != nil {
+		return false, err
+	}
+	return (got[0]^uint64(t.Value)<<uint(t.Bit))&(1<<uint(t.Bit)) != 0, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"dramscope/internal/stats"
+)
+
+// PhysPattern builds a column-data function that writes a repeating
+// 4-cell physical pattern (LSB = physical cell 0 of each quad) through
+// a recovered swizzle map — the arrangement Figure 16 sweeps ("we
+// represent the data pattern with values actually written to the
+// MAT").
+func PhysPattern(m *SwizzleMap, dataWidth int, pat uint8) func(col int) uint64 {
+	// Physical position of burst bit b within its column group is its
+	// index in the component order; the absolute cell position modulo
+	// 4 equals that index modulo 4 because BitsPerMAT is a multiple
+	// of 4.
+	shift := make([]uint, dataWidth)
+	for b := 0; b < dataWidth; b++ {
+		shift[b] = uint(posInOrder(m, b) % 4)
+	}
+	var burst uint64
+	for b := 0; b < dataWidth; b++ {
+		if pat>>(shift[b])&1 != 0 {
+			burst |= 1 << uint(b)
+		}
+	}
+	return func(int) uint64 { return burst }
+}
+
+func posInOrder(m *SwizzleMap, bit int) int {
+	for _, ord := range m.Orders {
+		for p, c := range ord {
+			if c == bit {
+				return p
+			}
+		}
+	}
+	return 0
+}
+
+// SweepResult holds the Figure 16 pattern sweep: relative BER for all
+// 16x16 combinations of repeating 4-cell victim and aggressor
+// patterns.
+type SweepResult struct {
+	// Relative[v][a] is BER(victim pattern v, aggressor pattern a)
+	// normalized to the (0xF victim, 0x0 aggressor) baseline.
+	Relative [16][16]float64
+	// WorstVictim and WorstAggr identify the peak combination.
+	WorstVictim, WorstAggr uint8
+	// WorstRelative is the peak relative BER.
+	WorstRelative float64
+}
+
+// SweepPatterns runs the Figure 16 experiment: for every 4-cell
+// victim/aggressor pattern pair, hammer both physical neighbors of
+// each victim row and measure the victim's BER.
+func SweepPatterns(a *AIB, victimPhys []int, acts int) (*SweepResult, error) {
+	if a.Map == nil {
+		return nil, fmt.Errorf("core: pattern sweep needs a recovered swizzle map")
+	}
+	width := a.H.DataWidth()
+	var rates [16][16]stats.BER
+	for v := 0; v < 16; v++ {
+		for ag := 0; ag < 16; ag++ {
+			res, err := a.Measure(Run{
+				Mode:       ModeHammer,
+				Acts:       acts,
+				VictimPhys: victimPhys,
+				Both:       true,
+				VictimData: PhysPattern(a.Map, width, uint8(v)),
+				AggrData:   PhysPattern(a.Map, width, uint8(ag)),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: sweep (%#x,%#x): %w", v, ag, err)
+			}
+			rates[v][ag] = res.Total
+		}
+	}
+	base := rates[0xF][0x0]
+	if base.Rate() == 0 {
+		return nil, fmt.Errorf("core: baseline pattern produced no flips; raise the activation budget")
+	}
+	out := &SweepResult{}
+	for v := 0; v < 16; v++ {
+		for ag := 0; ag < 16; ag++ {
+			r := rates[v][ag].RelativeTo(base)
+			out.Relative[v][ag] = r
+			if r > out.WorstRelative {
+				out.WorstRelative = r
+				out.WorstVictim, out.WorstAggr = uint8(v), uint8(ag)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PatternClass names the physical arrangement a written pattern
+// produces along a wordline (Figure 8's misplacement analysis).
+type PatternClass string
+
+// Pattern classes.
+const (
+	ClassSolid     PatternClass = "Solid"
+	ClassColStripe PatternClass = "ColStripe"
+	Class2BitAlt   PatternClass = "2-bit stripe"
+	ClassOther     PatternClass = "irregular"
+)
+
+// ClassifyPhysical reports the physical arrangement of a logical
+// burst value under the recovered swizzle: the cyclic run-length
+// structure of cell values along the bitline axis (one column group
+// repeats along the row, so the sequence is periodic).
+func ClassifyPhysical(m *SwizzleMap, dataWidth int, burst uint64) PatternClass {
+	ord := m.Orders[0]
+	vals := make([]int, len(ord))
+	for p, c := range ord {
+		vals[p] = int(burst >> uint(c) & 1)
+	}
+	n := len(vals)
+	same := true
+	for _, v := range vals {
+		if v != vals[0] {
+			same = false
+		}
+	}
+	if same {
+		return ClassSolid
+	}
+	// Cyclic run lengths: walk the periodic sequence from a value
+	// change so runs never straddle the start.
+	start := 0
+	for ; start < n; start++ {
+		if vals[(start+n-1)%n] != vals[start] {
+			break
+		}
+	}
+	runs := []int{}
+	cur := 1
+	for i := 1; i <= n; i++ {
+		if vals[(start+i)%n] == vals[(start+i-1)%n] {
+			cur++
+			continue
+		}
+		runs = append(runs, cur)
+		cur = 1
+	}
+	allLen := func(k int) bool {
+		for _, r := range runs {
+			if r != k {
+				return false
+			}
+		}
+		return len(runs) > 0
+	}
+	switch {
+	case allLen(1):
+		return ClassColStripe
+	case allLen(2):
+		return Class2BitAlt
+	default:
+		return ClassOther
+	}
+}
+
+// CorrectedColStripe builds the burst that lands as a true physical
+// ColStripe (alternating cells) once the swizzle is known — what a
+// mapping-aware host writes instead of 0x5555… (Figure 8's fix).
+func CorrectedColStripe(m *SwizzleMap, dataWidth int) uint64 {
+	var burst uint64
+	for b := 0; b < dataWidth; b++ {
+		if posInOrder(m, b)%2 == 1 {
+			burst |= 1 << uint(b)
+		}
+	}
+	return burst
+}

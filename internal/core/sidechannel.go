@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"dramscope/internal/chip"
+	"dramscope/internal/host"
+)
+
+// PowerProbe implements the §VI-C observation: activating a row in an
+// edge subarray drives two wordlines (the tandem partner), so
+// activation energy distinguishes edge rows from typical rows — a
+// potential power side channel.
+//
+// The probe reads the chip's cumulative wordline-activation counter —
+// the stand-in for an attacker's physical power measurement
+// (HammerScope-style) — and is therefore the one probe that is
+// *measurement-assisted* rather than purely command-driven.
+type PowerProbe struct {
+	H    *host.Host
+	C    *chip.Chip
+	Bank int
+}
+
+// EnergyPerActivation measures the marginal wordlines driven per ACT
+// of a row.
+func (p *PowerProbe) EnergyPerActivation(row int) (float64, error) {
+	const n = 64
+	before := p.C.WordlineActivations(p.Bank)
+	for i := 0; i < n; i++ {
+		if err := p.H.Activate(p.Bank, row); err != nil {
+			return 0, err
+		}
+		if err := p.H.Precharge(p.Bank); err != nil {
+			return 0, err
+		}
+	}
+	return float64(p.C.WordlineActivations(p.Bank)-before) / n, nil
+}
+
+// ClassifyRows splits rows into edge-subarray and typical rows by
+// their activation energy: edge rows cost two wordline activations.
+func (p *PowerProbe) ClassifyRows(rows []int) (edge, typical []int, err error) {
+	for _, r := range rows {
+		e, err := p.EnergyPerActivation(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case e > 1.5:
+			edge = append(edge, r)
+		case e > 0.5:
+			typical = append(typical, r)
+		default:
+			return nil, nil, fmt.Errorf("core: row %d reported %v wordlines per ACT", r, e)
+		}
+	}
+	return edge, typical, nil
+}

@@ -1,0 +1,286 @@
+// Package expt implements one runner per table and figure of the
+// paper's evaluation (the per-experiment index in DESIGN.md §5). The
+// runners are shared by cmd/experiments, the test suite, and the
+// benchmark harness; each returns typed results plus a rendered text
+// table shaped like the paper's artifact output.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dramscope/internal/chip"
+	"dramscope/internal/core"
+	"dramscope/internal/host"
+	"dramscope/internal/stats"
+	"dramscope/internal/topo"
+)
+
+// Env is one device under test plus its (lazily) recovered mapping.
+type Env struct {
+	Prof topo.Profile
+	Chip *chip.Chip
+	Host *host.Host
+	Bank int
+
+	order *core.RowOrder
+	sub   *core.SubarrayLayout
+	cells *core.CellPolarity
+	swz   *core.SwizzleMap
+}
+
+// NewEnv builds a device and its host.
+func NewEnv(prof topo.Profile, seed uint64) (*Env, error) {
+	c, err := chip.New(prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Prof: prof, Chip: c, Host: host.New(c)}, nil
+}
+
+// Order runs (and caches) the row-order probe.
+func (e *Env) Order() (*core.RowOrder, error) {
+	if e.order == nil {
+		ro, err := core.ProbeRowOrder(e.Host, e.Bank)
+		if err != nil {
+			return nil, err
+		}
+		e.order = ro
+	}
+	return e.order, nil
+}
+
+// Subarrays runs (and caches) the subarray probe.
+func (e *Env) Subarrays() (*core.SubarrayLayout, error) {
+	if e.sub == nil {
+		ro, err := e.Order()
+		if err != nil {
+			return nil, err
+		}
+		sub, err := core.ProbeSubarrays(e.Host, e.Bank, ro, core.DefaultSubarrayScan)
+		if err != nil {
+			return nil, err
+		}
+		e.sub = sub
+	}
+	return e.sub, nil
+}
+
+// Cells runs (and caches) the retention-based polarity probe.
+func (e *Env) Cells() (*core.CellPolarity, error) {
+	if e.cells == nil {
+		sub, err := e.Subarrays()
+		if err != nil {
+			return nil, err
+		}
+		pol, err := core.ProbeCellPolarity(e.Host, e.Bank, sub)
+		if err != nil {
+			return nil, err
+		}
+		e.cells = pol
+	}
+	return e.cells, nil
+}
+
+// Swizzle runs (and caches) the swizzle probe.
+func (e *Env) Swizzle() (*core.SwizzleMap, error) {
+	if e.swz == nil {
+		ro, err := e.Order()
+		if err != nil {
+			return nil, err
+		}
+		sub, err := e.Subarrays()
+		if err != nil {
+			return nil, err
+		}
+		pol, err := e.Cells()
+		if err != nil {
+			return nil, err
+		}
+		sm, err := core.ProbeSwizzle(e.Host, e.Bank, ro, sub, pol)
+		if err != nil {
+			return nil, err
+		}
+		e.swz = sm
+	}
+	return e.swz, nil
+}
+
+// AIB returns a measurement harness wired to the recovered mapping.
+func (e *Env) AIB() (*core.AIB, error) {
+	ro, err := e.Order()
+	if err != nil {
+		return nil, err
+	}
+	sm, err := e.Swizzle()
+	if err != nil {
+		return nil, err
+	}
+	return &core.AIB{H: e.Host, Bank: e.Bank, Order: ro, Map: sm}, nil
+}
+
+// interiorVictims returns n victim physical rows, spaced by 3, inside
+// the second subarray (interior: no edge damping), starting past the
+// region the swizzle probe used.
+func (e *Env) interiorVictims(n int) ([]int, error) {
+	sub, err := e.Subarrays()
+	if err != nil {
+		return nil, err
+	}
+	if len(sub.Boundaries) < 2 {
+		return nil, fmt.Errorf("expt: need two boundaries for interior victims")
+	}
+	base := sub.Boundaries[0] + 8
+	limit := sub.Boundaries[1] - 2
+	var out []int
+	for p := base; len(out) < n && p < limit; p += 3 {
+		out = append(out, p)
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("expt: subarray too small for %d victims", n)
+	}
+	return out, nil
+}
+
+// edgeVictims returns n victim physical rows inside the first (edge)
+// subarray.
+func (e *Env) edgeVictims(n int) ([]int, error) {
+	sub, err := e.Subarrays()
+	if err != nil {
+		return nil, err
+	}
+	limit := sub.Boundaries[0] - 2
+	var out []int
+	for p := 4; len(out) < n && p < limit; p += 3 {
+		out = append(out, p)
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("expt: edge subarray too small for %d victims", n)
+	}
+	return out, nil
+}
+
+// TableI renders the tested-device population (paper Table I).
+func TableI() *stats.Table {
+	t := stats.NewTable("DRAM type", "Vendor", "Chip type", "Density", "Year", "# chips")
+	for _, p := range topo.Catalog() {
+		year := fmt.Sprintf("%d", p.Year)
+		if p.Year == 0 {
+			year = "N/A"
+		}
+		kind := fmt.Sprintf("x%d", p.ChipWidth)
+		if p.Kind == "HBM2" {
+			kind = "4-Hi stack"
+		}
+		t.Row(p.Kind, "Mfr. "+p.Vendor, kind, p.Density, year, p.ChipsTested)
+	}
+	return t
+}
+
+// TableIIIRow is one device's recovered structure (paper Table III).
+type TableIIIRow struct {
+	Name string
+	// Composition maps subarray height -> count within one region.
+	Composition map[int]int
+	// EdgeIntervalRows is the edge-region period in addressed rows.
+	EdgeIntervalRows int
+	// CoupledDistance is the coupled-row distance (0 = N/A).
+	CoupledDistance int
+	// Remapped reports internal row remapping (§III-C pitfall 2).
+	Remapped bool
+	// InvertedCopy distinguishes the true-cell-only RowCopy polarity.
+	InvertedCopy bool
+}
+
+// CompositionString renders "11x640 + 2x576"-style summaries.
+func (r TableIIIRow) CompositionString() string {
+	heights := make([]int, 0, len(r.Composition))
+	for h := range r.Composition {
+		heights = append(heights, h)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(heights)))
+	parts := make([]string, 0, len(heights))
+	for _, h := range heights {
+		parts = append(parts, fmt.Sprintf("%dx%d", r.Composition[h], h))
+	}
+	return strings.Join(parts, " + ")
+}
+
+// TableIII reverse-engineers one device's subarray structure.
+func TableIII(e *Env) (*TableIIIRow, error) {
+	ro, err := e.Order()
+	if err != nil {
+		return nil, err
+	}
+	sub, err := e.Subarrays()
+	if err != nil {
+		return nil, err
+	}
+	coupled, err := core.ProbeCoupledRows(e.Host, e.Bank, ro)
+	if err != nil {
+		return nil, err
+	}
+
+	row := &TableIIIRow{
+		Name:         e.Prof.Name,
+		Composition:  map[int]int{},
+		Remapped:     ro.Remapped(),
+		InvertedCopy: sub.InvertedCopy,
+	}
+	nsub := sub.EdgeRegionSubarrays
+	if nsub == 0 {
+		return nil, fmt.Errorf("expt: no edge pairing found for %s", e.Prof.Name)
+	}
+	// Table III reports the composition per repeating pattern block;
+	// find the smallest period of the recovered height sequence,
+	// validated across everything the scan saw (a window of one
+	// region can alias shorter false periods).
+	period := nsub
+	for p := 1; p <= nsub; p++ {
+		ok := true
+		for i := p; i < len(sub.Heights); i++ {
+			if sub.Heights[i] != sub.Heights[i-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			period = p
+			break
+		}
+	}
+	for i := 0; i < period; i++ {
+		row.Composition[sub.Heights[i]]++
+	}
+	// Edge interval: region size in addressed rows.
+	physRows := 0
+	for i := 0; i < nsub && i < len(sub.Heights); i++ {
+		physRows += sub.Heights[i]
+	}
+	mult := 1
+	if coupled.Coupled() {
+		mult = 2
+	}
+	row.EdgeIntervalRows = physRows * mult
+	row.CoupledDistance = coupled.Distance
+	return row, nil
+}
+
+// RenderTableIII renders recovered rows in the paper's shape.
+func RenderTableIII(rows []*TableIIIRow) *stats.Table {
+	t := stats.NewTable("Device", "Subarray composition", "Edge interval", "Coupled distance", "Row remap", "Copy polarity")
+	for _, r := range rows {
+		coupled := "N/A"
+		if r.CoupledDistance > 0 {
+			coupled = fmt.Sprintf("%d rows", r.CoupledDistance)
+		}
+		pol := "inverted"
+		if !r.InvertedCopy {
+			pol = "as-is"
+		}
+		t.Row(r.Name, r.CompositionString(),
+			fmt.Sprintf("per %d rows", r.EdgeIntervalRows), coupled, r.Remapped, pol)
+	}
+	return t
+}

@@ -1,0 +1,143 @@
+// Package geom models the 6F² DRAM cell geometry (paper §II-B,
+// Figure 11).
+//
+// In a 6F² array, pairs of cells share a P-substrate and a bitline
+// contact. Every cell is either a "top" or a "bottom" cell with
+// respect to its substrate pair; the two kinds alternate along the
+// bitline index within a row and the pattern reverses between even and
+// odd wordlines. For a given victim cell, the wordline on one side is
+// its passing gate and the wordline on the other side is its
+// neighboring gate, determined entirely by the cell kind:
+//
+//	top cell:    upper aggressor WL = passing gate, lower = neighboring
+//	bottom cell: upper aggressor WL = neighboring gate, lower = passing
+//
+// Activate-induced bitflips depend on which gate the aggressor drives
+// (§II-D), so this tiny predicate is what generates the alternating
+// BER patterns of observations O7–O10 and their reversals under row
+// parity, aggressor direction, and written value.
+package geom
+
+// CellKind identifies a cell's position within its shared P-substrate.
+type CellKind uint8
+
+const (
+	// Top cells sit on the upper side of the substrate pair.
+	Top CellKind = iota
+	// Bottom cells sit on the lower side of the substrate pair.
+	Bottom
+)
+
+// String returns "top" or "bottom".
+func (k CellKind) String() string {
+	if k == Top {
+		return "top"
+	}
+	return "bottom"
+}
+
+// Gate identifies the relationship between an aggressor wordline and a
+// victim cell.
+type Gate uint8
+
+const (
+	// Passing is the aggressor WL that crosses the victim's active
+	// region without sharing its P-substrate (capacitive crosstalk /
+	// electron pull mechanism, Figure 3(c)).
+	Passing Gate = iota
+	// Neighboring is the aggressor WL that shares the victim's
+	// P-substrate (electron injection mechanism, Figure 3(b)).
+	Neighboring
+)
+
+// String returns "passing" or "neighboring".
+func (g Gate) String() string {
+	if g == Passing {
+		return "passing"
+	}
+	return "neighboring"
+}
+
+// Dir is the direction of an aggressor row relative to its victim row,
+// in physical wordline order.
+type Dir uint8
+
+const (
+	// Upper means the aggressor wordline index is victim+1.
+	Upper Dir = iota
+	// Lower means the aggressor wordline index is victim-1.
+	Lower
+)
+
+// String returns "upper" or "lower".
+func (d Dir) String() string {
+	if d == Upper {
+		return "upper"
+	}
+	return "lower"
+}
+
+// Opposite returns the other direction.
+func (d Dir) Opposite() Dir {
+	if d == Upper {
+		return Lower
+	}
+	return Upper
+}
+
+// Kind classifies the cell at physical wordline wl and physical
+// bitline bl. Top and bottom cells alternate with the bitline index,
+// and the phase reverses with wordline parity — this is the regular
+// isomorphic tiling of Figure 11.
+func Kind(wl, bl int) CellKind {
+	if (wl+bl)&1 == 0 {
+		return Top
+	}
+	return Bottom
+}
+
+// GateOf reports which gate type the aggressor in direction d presents
+// to the victim cell at (wl, bl).
+func GateOf(wl, bl int, d Dir) Gate {
+	k := Kind(wl, bl)
+	switch {
+	case k == Top && d == Upper, k == Bottom && d == Lower:
+		return Passing
+	default:
+		return Neighboring
+	}
+}
+
+// SusceptibleGate reports the gate type through which a RowHammer
+// aggressor can flip a victim cell in the given charge state.
+// Observation O10: a victim cell is susceptible to exactly one gate
+// type at a time, and the susceptible type reverses when the written
+// (charge) state changes. The concrete assignment below (charged →
+// neighboring gate, discharged → passing gate) follows the electron
+// injection/removal mechanisms described for saddle-fin cells
+// (Figure 3; Ryu et al., Gautam et al.): injection discharges a
+// charged true-cell storage node via the shared substrate, while
+// passing-gate attraction drains an uncharged node's surroundings.
+func SusceptibleGate(charged bool) Gate {
+	if charged {
+		return Neighboring
+	}
+	return Passing
+}
+
+// HammerFlips reports whether a RowHammer aggressor in direction d can
+// flip the victim cell at (wl, bl) given its charge state. It combines
+// the geometric gate resolution with the O10 susceptibility predicate.
+func HammerFlips(wl, bl int, d Dir, charged bool) bool {
+	return GateOf(wl, bl, d) == SusceptibleGate(charged)
+}
+
+// PressFlips reports whether a RowPress aggressor in direction d can
+// flip the victim cell at (wl, bl) given its charge state. RowPress
+// induces bitflips only in the charged state (Luo et al.; §II-D), at
+// both gate types but with different rates (Figure 13); the rate
+// difference is handled by the fault model, so the predicate here only
+// encodes the charged-state requirement.
+func PressFlips(charged bool) bool {
+	return charged
+}

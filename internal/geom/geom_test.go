@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindAlternatesAlongRow(t *testing.T) {
+	for bl := 0; bl < 64; bl++ {
+		k0 := Kind(0, bl)
+		k1 := Kind(0, bl+1)
+		if k0 == k1 {
+			t.Fatalf("kind must alternate along the bitline index: bl=%d", bl)
+		}
+	}
+}
+
+func TestKindReversesWithWordlineParity(t *testing.T) {
+	for bl := 0; bl < 64; bl++ {
+		if Kind(0, bl) == Kind(1, bl) {
+			t.Fatalf("kind must reverse between even and odd wordlines: bl=%d", bl)
+		}
+	}
+}
+
+func TestGateOfTopCell(t *testing.T) {
+	// (0,0) is a top cell by convention.
+	if Kind(0, 0) != Top {
+		t.Fatal("convention changed: (0,0) should be a top cell")
+	}
+	if GateOf(0, 0, Upper) != Passing {
+		t.Error("top cell upper aggressor must be the passing gate")
+	}
+	if GateOf(0, 0, Lower) != Neighboring {
+		t.Error("top cell lower aggressor must be the neighboring gate")
+	}
+}
+
+func TestGateOfBottomCell(t *testing.T) {
+	if Kind(0, 1) != Bottom {
+		t.Fatal("convention changed: (0,1) should be a bottom cell")
+	}
+	if GateOf(0, 1, Upper) != Neighboring {
+		t.Error("bottom cell upper aggressor must be the neighboring gate")
+	}
+	if GateOf(0, 1, Lower) != Passing {
+		t.Error("bottom cell lower aggressor must be the passing gate")
+	}
+}
+
+// The two aggressor directions always present opposite gate types to
+// any given cell (the victim sits between a passing and a neighboring
+// gate).
+func TestGateDirectionsAreComplementary(t *testing.T) {
+	f := func(wl, bl uint16) bool {
+		return GateOf(int(wl), int(bl), Upper) != GateOf(int(wl), int(bl), Lower)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// O8/O10: for a fixed direction and charge state, flip susceptibility
+// alternates along the bitline index.
+func TestHammerAlternationAlongRow(t *testing.T) {
+	for bl := 0; bl < 32; bl++ {
+		a := HammerFlips(0, bl, Upper, true)
+		b := HammerFlips(0, bl+1, Upper, true)
+		if a == b {
+			t.Fatalf("hammer susceptibility must alternate: bl=%d", bl)
+		}
+	}
+}
+
+// O8: the alternation reverses when direction, parity, or value flips.
+func TestHammerReversals(t *testing.T) {
+	base := HammerFlips(0, 0, Upper, true)
+	if HammerFlips(0, 0, Lower, true) == base {
+		t.Error("direction change must reverse susceptibility")
+	}
+	if HammerFlips(1, 0, Upper, true) == base {
+		t.Error("wordline parity change must reverse susceptibility")
+	}
+	if HammerFlips(0, 0, Upper, false) == base {
+		t.Error("charge state change must reverse susceptibility")
+	}
+}
+
+// O10: exactly one direction can flip a cell for a given charge state.
+func TestExactlyOneSusceptibleDirection(t *testing.T) {
+	f := func(wl, bl uint16, charged bool) bool {
+		u := HammerFlips(int(wl), int(bl), Upper, charged)
+		l := HammerFlips(int(wl), int(bl), Lower, charged)
+		return u != l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// O9: across the full population, both gate types flip cells (the
+// susceptible gate covers passing for discharged and neighboring for
+// charged cells).
+func TestBothGateTypesFlip(t *testing.T) {
+	sawPassing, sawNeighboring := false, false
+	for bl := 0; bl < 4; bl++ {
+		for _, charged := range []bool{true, false} {
+			for _, d := range []Dir{Upper, Lower} {
+				if HammerFlips(0, bl, d, charged) {
+					if GateOf(0, bl, d) == Passing {
+						sawPassing = true
+					} else {
+						sawNeighboring = true
+					}
+				}
+			}
+		}
+	}
+	if !sawPassing || !sawNeighboring {
+		t.Fatalf("both gate types must appear among flips: passing=%v neighboring=%v",
+			sawPassing, sawNeighboring)
+	}
+}
+
+func TestPressFlipsOnlyCharged(t *testing.T) {
+	if PressFlips(false) {
+		t.Error("RowPress must not flip discharged cells")
+	}
+	if !PressFlips(true) {
+		t.Error("RowPress must flip charged cells")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Top.String(), "top"},
+		{Bottom.String(), "bottom"},
+		{Passing.String(), "passing"},
+		{Neighboring.String(), "neighboring"},
+		{Upper.String(), "upper"},
+		{Lower.String(), "lower"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestOpposite(t *testing.T) {
+	if Upper.Opposite() != Lower || Lower.Opposite() != Upper {
+		t.Fatal("Opposite is broken")
+	}
+}

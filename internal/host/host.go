@@ -1,0 +1,211 @@
+// Package host is the FPGA-based testing substrate of the
+// reproduction: the equivalent of the paper's modified SoftMC / DRAM
+// Bender (§III-A). It drives a DRAM target with precisely timed
+// command sequences — including deliberately specification-violating
+// ones — and provides the composite operations the three
+// reverse-engineering techniques are built from: hammering, pressing,
+// RowCopy, retention waits, and whole-row reads/writes.
+//
+// Probes in package core speak to devices exclusively through a Host;
+// they never touch ground-truth state.
+package host
+
+import (
+	"fmt"
+
+	"dramscope/internal/sim"
+)
+
+// Target is the device interface the host drives. *chip.Chip
+// implements it.
+type Target interface {
+	Exec(sim.Command) (uint64, error)
+	Pulse(bank, row, n int, tOn, tGap sim.Time) error
+	AdvanceTo(sim.Time) error
+	Now() sim.Time
+	Rows() int
+	Columns() int
+	DataWidth() int
+	Banks() int
+	Timing() sim.Timing
+}
+
+// Host issues timed command sequences against a target.
+type Host struct {
+	t  Target
+	at sim.Time
+}
+
+// New wraps a target.
+func New(t Target) *Host {
+	return &Host{t: t, at: t.Now()}
+}
+
+// Target returns the wrapped device.
+func (h *Host) Target() Target { return h.t }
+
+// Rows, Columns, DataWidth forward the target geometry.
+func (h *Host) Rows() int      { return h.t.Rows() }
+func (h *Host) Columns() int   { return h.t.Columns() }
+func (h *Host) DataWidth() int { return h.t.DataWidth() }
+
+// Now returns the host's current issue time.
+func (h *Host) Now() sim.Time { return h.at }
+
+func (h *Host) exec(cmd sim.Command) (uint64, error) {
+	cmd.At = h.at
+	return h.t.Exec(cmd)
+}
+
+func (h *Host) step(d sim.Time) { h.at += d }
+
+// Wait advances time by d without issuing commands (retention tests).
+func (h *Host) Wait(d sim.Time) error {
+	h.step(d)
+	return h.t.AdvanceTo(h.at)
+}
+
+// Activate opens a row after a full precharge interval.
+func (h *Host) Activate(bank, row int) error {
+	h.step(h.t.Timing().TRP + h.t.Timing().TCK)
+	_, err := h.exec(sim.Command{Op: sim.ACT, Bank: bank, Row: row})
+	return err
+}
+
+// Precharge closes the open row after tRAS.
+func (h *Host) Precharge(bank int) error {
+	h.step(h.t.Timing().TRAS)
+	_, err := h.exec(sim.Command{Op: sim.PRE, Bank: bank})
+	return err
+}
+
+// Read returns one burst from the open row.
+func (h *Host) Read(bank, col int) (uint64, error) {
+	h.step(h.t.Timing().TRCD)
+	return h.exec(sim.Command{Op: sim.RD, Bank: bank, Col: col})
+}
+
+// Write stores one burst into the open row.
+func (h *Host) Write(bank, col int, data uint64) error {
+	h.step(h.t.Timing().TRCD)
+	_, err := h.exec(sim.Command{Op: sim.WR, Bank: bank, Col: col, Data: data})
+	return err
+}
+
+// Refresh issues a bank refresh.
+func (h *Host) Refresh(bank int) error {
+	h.step(h.t.Timing().TCK)
+	_, err := h.exec(sim.Command{Op: sim.REF, Bank: bank})
+	return err
+}
+
+// WriteRow writes pattern(col) to every column of a row.
+func (h *Host) WriteRow(bank, row int, pattern func(col int) uint64) error {
+	if err := h.Activate(bank, row); err != nil {
+		return err
+	}
+	for col := 0; col < h.t.Columns(); col++ {
+		if err := h.Write(bank, col, pattern(col)); err != nil {
+			return err
+		}
+	}
+	return h.Precharge(bank)
+}
+
+// FillRow writes the same burst value to every column.
+func (h *Host) FillRow(bank, row int, data uint64) error {
+	return h.WriteRow(bank, row, func(int) uint64 { return data })
+}
+
+// ReadRow reads every column of a row.
+func (h *Host) ReadRow(bank, row int) ([]uint64, error) {
+	if err := h.Activate(bank, row); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, h.t.Columns())
+	for col := range out {
+		v, err := h.Read(bank, col)
+		if err != nil {
+			return nil, err
+		}
+		out[col] = v
+	}
+	return out, h.Precharge(bank)
+}
+
+// ReadCols reads only the given columns of a row (faster for scans).
+func (h *Host) ReadCols(bank, row int, cols []int) ([]uint64, error) {
+	if err := h.Activate(bank, row); err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(cols))
+	for i, col := range cols {
+		v, err := h.Read(bank, col)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, h.Precharge(bank)
+}
+
+// WriteCols writes only the given columns of a row.
+func (h *Host) WriteCols(bank, row int, cols []int, data []uint64) error {
+	if len(cols) != len(data) {
+		return fmt.Errorf("host: WriteCols needs matching cols and data")
+	}
+	if err := h.Activate(bank, row); err != nil {
+		return err
+	}
+	for i, col := range cols {
+		if err := h.Write(bank, col, data[i]); err != nil {
+			return err
+		}
+	}
+	return h.Precharge(bank)
+}
+
+// Hammer performs n single-sided RowHammer activations of a row
+// (ACT/PRE pairs at minimum legal spacing; §V-B uses 300K).
+func (h *Host) Hammer(bank, row, n int) error {
+	tm := h.t.Timing()
+	if err := h.t.AdvanceTo(h.at); err != nil {
+		return err
+	}
+	if err := h.t.Pulse(bank, row, n, tm.TRAS, tm.TRP); err != nil {
+		return err
+	}
+	h.at = h.t.Now()
+	return nil
+}
+
+// Press performs n RowPress activations, keeping the row open for tOn
+// each time (§V-B uses 8K activations of 7.8us).
+func (h *Host) Press(bank, row, n int, tOn sim.Time) error {
+	tm := h.t.Timing()
+	if err := h.t.AdvanceTo(h.at); err != nil {
+		return err
+	}
+	if err := h.t.Pulse(bank, row, n, tOn, tm.TRP); err != nil {
+		return err
+	}
+	h.at = h.t.Now()
+	return nil
+}
+
+// RowCopy performs the out-of-spec in-DRAM copy (§III-B): activate the
+// source, precharge after tRAS, then re-activate the destination
+// before the bitlines restore.
+func (h *Host) RowCopy(bank, src, dst int) error {
+	if err := h.Activate(bank, src); err != nil {
+		return err
+	}
+	if err := h.Precharge(bank); err != nil {
+		return err
+	}
+	h.step(2 * sim.Nanosecond) // inside the charge-share window
+	if _, err := h.exec(sim.Command{Op: sim.ACT, Bank: bank, Row: dst}); err != nil {
+		return err
+	}
+	return h.Precharge(bank)
+}

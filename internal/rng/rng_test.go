@@ -1,0 +1,119 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash(1, 2, 3) != Hash(1, 2, 3) {
+		t.Fatal("Hash is not deterministic")
+	}
+}
+
+func TestHashDistinguishesInputs(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		h := Hash(i)
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestHashOrderSensitive(t *testing.T) {
+	if Hash(1, 2) == Hash(2, 1) {
+		t.Fatal("Hash should be order-sensitive")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	for i := uint64(0); i < 100000; i++ {
+		u := Uniform(i, 42)
+		if u <= 0 || u > 1 {
+			t.Fatalf("Uniform(%d) = %v out of (0,1]", i, u)
+		}
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	const n = 200000
+	sum := 0.0
+	for i := uint64(0); i < n; i++ {
+		sum += Uniform(i, 7)
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("Uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUniformQuickProperties(t *testing.T) {
+	f := func(a, b uint64) bool {
+		u := Uniform(a, b)
+		return u > 0 && u <= 1 && u == Uniform(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogUniformRange(t *testing.T) {
+	lo, hi := 1e-3, 1e9
+	for i := uint64(0); i < 20000; i++ {
+		v := LogUniform(lo, hi, i)
+		if v < lo*0.999 || v > hi*1.001 {
+			t.Fatalf("LogUniform out of range: %v", v)
+		}
+	}
+}
+
+func TestLogUniformDegenerate(t *testing.T) {
+	if v := LogUniform(5, 5, 1); math.Abs(v-5) > 1e-9 {
+		t.Fatalf("LogUniform(5,5) = %v, want 5", v)
+	}
+}
+
+func TestLogUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on bad domain")
+		}
+	}()
+	LogUniform(-1, 1, 0)
+}
+
+func TestLnfAgainstMath(t *testing.T) {
+	for _, x := range []float64{1e-6, 0.5, 1, 1.5, 2, 10, 1e3, 1e9, 1e12} {
+		got := lnf(x)
+		want := math.Log(x)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("lnf(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestExpfAgainstMath(t *testing.T) {
+	for _, x := range []float64{-20, -1, -0.1, 0, 0.1, 1, 5, 20} {
+		got := expf(x)
+		want := math.Exp(x)
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("expf(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPowfQuick(t *testing.T) {
+	f := func(b8, e8 uint8) bool {
+		base := 0.5 + float64(b8)/32 // 0.5 .. ~8.5
+		exp := float64(e8)/128 - 1   // -1 .. ~1
+		got := powf(base, exp)
+		want := math.Pow(base, exp)
+		return math.Abs(got-want) <= 1e-8*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

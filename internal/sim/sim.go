@@ -1,0 +1,169 @@
+// Package sim defines the DRAM command set and timing parameters
+// shared by the chip model, the module model, and the FPGA-host
+// substrate.
+//
+// Time is an absolute simulated timestamp in picoseconds. Commands
+// carry explicit issue times, exactly like the cycle-programmed
+// instruction streams of SoftMC / DRAM Bender: reverse-engineering
+// depends on issuing commands at controlled — sometimes deliberately
+// specification-violating — intervals.
+package sim
+
+import "fmt"
+
+// Time is an absolute simulated timestamp in picoseconds.
+type Time int64
+
+// Common time units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the timestamp with a human-readable unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Op enumerates DRAM commands.
+type Op uint8
+
+const (
+	// NOP advances time without touching the device.
+	NOP Op = iota
+	// ACT opens (activates) a row in a bank.
+	ACT
+	// PRE precharges (closes) the open row of a bank.
+	PRE
+	// RD reads one burst (RDdata) from the open row.
+	RD
+	// WR writes one burst (RDdata) to the open row.
+	WR
+	// REF refreshes the whole bank (all-bank refresh is modeled as a
+	// REF per bank at the same timestamp).
+	REF
+)
+
+// String returns the JEDEC-style mnemonic.
+func (o Op) String() string {
+	switch o {
+	case NOP:
+		return "NOP"
+	case ACT:
+		return "ACT"
+	case PRE:
+		return "PRE"
+	case RD:
+		return "RD"
+	case WR:
+		return "WR"
+	case REF:
+		return "REF"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Command is a single timed DRAM command as seen at a chip's
+// command/address pins.
+type Command struct {
+	Op   Op
+	At   Time   // absolute issue time
+	Bank int    // bank index (ACT/PRE/RD/WR/REF)
+	Row  int    // row address (ACT)
+	Col  int    // column (burst) address (RD/WR)
+	Data uint64 // write data for WR (one RDdata burst, LSB = DQ bit 0 beat 0)
+}
+
+// String renders the command for traces and error messages.
+func (c Command) String() string {
+	switch c.Op {
+	case ACT:
+		return fmt.Sprintf("%s ACT  b%d r%d", c.At, c.Bank, c.Row)
+	case PRE:
+		return fmt.Sprintf("%s PRE  b%d", c.At, c.Bank)
+	case RD:
+		return fmt.Sprintf("%s RD   b%d c%d", c.At, c.Bank, c.Col)
+	case WR:
+		return fmt.Sprintf("%s WR   b%d c%d = %#x", c.At, c.Bank, c.Col, c.Data)
+	case REF:
+		return fmt.Sprintf("%s REF  b%d", c.At, c.Bank)
+	default:
+		return fmt.Sprintf("%s %s", c.At, c.Op)
+	}
+}
+
+// Timing holds the DRAM timing parameters relevant to the modeled
+// behaviours. Values follow DDR4-3200-ish datasheet numbers; HBM2
+// profiles override tCK.
+type Timing struct {
+	TCK   Time // clock period (minimum command spacing)
+	TRCD  Time // ACT -> RD/WR
+	TRAS  Time // ACT -> PRE (full restore)
+	TRP   Time // PRE -> ACT (full precharge to Vdd/2)
+	TREFI Time // average refresh interval (one REF per tREFI)
+	TREFW Time // refresh window (every row refreshed once per window)
+
+	// RowCopyMaxGap is the largest PRE->ACT gap for which the bitlines
+	// still hold enough of the previous row's charge for a RowCopy
+	// charge-share to overwrite the destination cells (§III-B). Gaps
+	// in (RowCopyMaxGap, TRP) leave the destination row's own data
+	// intact in this model (the marginal region is not modeled).
+	RowCopyMaxGap Time
+}
+
+// DDR4 returns the DDR4 timing set used throughout the paper's DDR4
+// experiments (1.25 ns tCK; §III-A).
+func DDR4() Timing {
+	return Timing{
+		TCK:           1250 * Picosecond,
+		TRCD:          13750 * Picosecond,
+		TRAS:          32 * Nanosecond,
+		TRP:           13750 * Picosecond,
+		TREFI:         7800 * Nanosecond,
+		TREFW:         64 * Millisecond,
+		RowCopyMaxGap: 5 * Nanosecond,
+	}
+}
+
+// HBM2 returns the HBM2 timing set (1.67 ns tCK; §III-A).
+func HBM2() Timing {
+	t := DDR4()
+	t.TCK = 1670 * Picosecond
+	return t
+}
+
+// Validate reports an error if the timing set is internally
+// inconsistent.
+func (t Timing) Validate() error {
+	switch {
+	case t.TCK <= 0:
+		return fmt.Errorf("sim: tCK must be positive, got %v", t.TCK)
+	case t.TRCD < t.TCK, t.TRAS < t.TCK, t.TRP < t.TCK:
+		return fmt.Errorf("sim: tRCD/tRAS/tRP must be at least one tCK")
+	case t.TRAS < t.TRCD:
+		return fmt.Errorf("sim: tRAS (%v) must cover tRCD (%v)", t.TRAS, t.TRCD)
+	case t.RowCopyMaxGap >= t.TRP:
+		return fmt.Errorf("sim: RowCopyMaxGap (%v) must be below tRP (%v)",
+			t.RowCopyMaxGap, t.TRP)
+	case t.TREFI <= 0 || t.TREFW <= 0:
+		return fmt.Errorf("sim: refresh parameters must be positive")
+	case t.TREFW < t.TREFI:
+		return fmt.Errorf("sim: tREFW (%v) must cover tREFI (%v)", t.TREFW, t.TREFI)
+	}
+	return nil
+}

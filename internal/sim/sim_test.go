@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1250 * Picosecond, "1.250ns"},
+		{7800 * Nanosecond, "7.800us"},
+		{64 * Millisecond, "64.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		NOP: "NOP", ACT: "ACT", PRE: "PRE", RD: "RD", WR: "WR", REF: "REF",
+	} {
+		if op.String() != want {
+			t.Errorf("Op %d string = %q want %q", op, op.String(), want)
+		}
+	}
+	if !strings.HasPrefix(Op(99).String(), "Op(") {
+		t.Error("unknown op should render as Op(n)")
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	c := Command{Op: ACT, At: 1250 * Picosecond, Bank: 2, Row: 77}
+	if got := c.String(); !strings.Contains(got, "ACT") || !strings.Contains(got, "r77") {
+		t.Errorf("Command.String() = %q", got)
+	}
+	w := Command{Op: WR, At: 0, Bank: 0, Col: 3, Data: 0xff}
+	if got := w.String(); !strings.Contains(got, "0xff") {
+		t.Errorf("WR string missing data: %q", got)
+	}
+}
+
+func TestDDR4TimingValid(t *testing.T) {
+	if err := DDR4().Validate(); err != nil {
+		t.Fatalf("DDR4 timing invalid: %v", err)
+	}
+	if err := HBM2().Validate(); err != nil {
+		t.Fatalf("HBM2 timing invalid: %v", err)
+	}
+}
+
+func TestHBM2SlowerClock(t *testing.T) {
+	if HBM2().TCK <= DDR4().TCK {
+		t.Fatal("HBM2 tCK should be longer than DDR4's (1.67ns vs 1.25ns)")
+	}
+}
+
+func TestValidateCatchesBadTimings(t *testing.T) {
+	bad := []func(*Timing){
+		func(x *Timing) { x.TCK = 0 },
+		func(x *Timing) { x.TRCD = 0 },
+		func(x *Timing) { x.TRAS = x.TRCD - 1 },
+		func(x *Timing) { x.RowCopyMaxGap = x.TRP },
+		func(x *Timing) { x.TREFI = 0 },
+		func(x *Timing) { x.TREFW = x.TREFI - 1 },
+	}
+	for i, mutate := range bad {
+		tm := DDR4()
+		mutate(&tm)
+		if err := tm.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRowCopyGapBelowTRP(t *testing.T) {
+	tm := DDR4()
+	if tm.RowCopyMaxGap >= tm.TRP {
+		t.Fatal("RowCopy gap must be a tRP violation")
+	}
+}

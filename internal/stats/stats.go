@@ -1,0 +1,184 @@
+// Package stats aggregates bit-error measurements and renders the
+// tables the experiment harness prints. It is deliberately small:
+// counts, rates, grouped profiles, and fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BER is a bit-error-rate accumulator.
+type BER struct {
+	Errors int64
+	Bits   int64
+}
+
+// Add merges another accumulator.
+func (b *BER) Add(o BER) {
+	b.Errors += o.Errors
+	b.Bits += o.Bits
+}
+
+// Observe records n errors out of total bits.
+func (b *BER) Observe(errors, bits int64) {
+	b.Errors += errors
+	b.Bits += bits
+}
+
+// Rate returns errors/bits (0 for an empty accumulator).
+func (b BER) Rate() float64 {
+	if b.Bits == 0 {
+		return 0
+	}
+	return float64(b.Errors) / float64(b.Bits)
+}
+
+// RelativeTo returns this rate normalized by a baseline rate.
+func (b BER) RelativeTo(base BER) float64 {
+	br := base.Rate()
+	if br == 0 {
+		return 0
+	}
+	return b.Rate() / br
+}
+
+// String renders the accumulator compactly.
+func (b BER) String() string {
+	return fmt.Sprintf("%d/%d (%.3g)", b.Errors, b.Bits, b.Rate())
+}
+
+// Profile is a BER indexed by an integer key (bit index, distance,
+// pattern id, ...).
+type Profile struct {
+	buckets map[int]*BER
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{buckets: make(map[int]*BER)}
+}
+
+// Observe records errors for a key.
+func (p *Profile) Observe(key int, errors, bits int64) {
+	b := p.buckets[key]
+	if b == nil {
+		b = &BER{}
+		p.buckets[key] = b
+	}
+	b.Observe(errors, bits)
+}
+
+// Get returns the accumulator for a key.
+func (p *Profile) Get(key int) BER {
+	if b := p.buckets[key]; b != nil {
+		return *b
+	}
+	return BER{}
+}
+
+// Keys returns the observed keys in ascending order.
+func (p *Profile) Keys() []int {
+	out := make([]int, 0, len(p.buckets))
+	for k := range p.buckets {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Total returns the sum over all keys.
+func (p *Profile) Total() BER {
+	var t BER
+	for _, b := range p.buckets {
+		t.Add(*b)
+	}
+	return t
+}
+
+// Table renders rows of labeled values as a fixed-width text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(values ...interface{}) *Table {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	all := append([][]string{t.header}, t.rows...)
+	for _, r := range all {
+		for i, c := range r {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBERBasics(t *testing.T) {
+	var b BER
+	if b.Rate() != 0 {
+		t.Fatal("empty BER must be 0")
+	}
+	b.Observe(5, 100)
+	if b.Rate() != 0.05 {
+		t.Fatalf("rate = %v", b.Rate())
+	}
+	var c BER
+	c.Observe(5, 100)
+	b.Add(c)
+	if b.Errors != 10 || b.Bits != 200 {
+		t.Fatalf("add broken: %+v", b)
+	}
+}
+
+func TestBERRelative(t *testing.T) {
+	base := BER{Errors: 10, Bits: 1000}
+	x := BER{Errors: 20, Bits: 1000}
+	if got := x.RelativeTo(base); got != 2.0 {
+		t.Fatalf("relative = %v", got)
+	}
+	if got := x.RelativeTo(BER{}); got != 0 {
+		t.Fatalf("relative to empty = %v", got)
+	}
+}
+
+func TestBERString(t *testing.T) {
+	b := BER{Errors: 3, Bits: 1000}
+	if !strings.Contains(b.String(), "3/1000") {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestProfile(t *testing.T) {
+	p := NewProfile()
+	p.Observe(3, 1, 10)
+	p.Observe(1, 2, 10)
+	p.Observe(3, 1, 10)
+	keys := p.Keys()
+	if len(keys) != 2 || keys[0] != 1 || keys[1] != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if got := p.Get(3); got.Errors != 2 || got.Bits != 20 {
+		t.Fatalf("bucket 3 = %+v", got)
+	}
+	if got := p.Get(99); got.Bits != 0 {
+		t.Fatal("missing key must be empty")
+	}
+	if tot := p.Total(); tot.Errors != 4 || tot.Bits != 30 {
+		t.Fatalf("total = %+v", tot)
+	}
+}
+
+func TestProfileQuickTotals(t *testing.T) {
+	f := func(obs []uint8) bool {
+		p := NewProfile()
+		var wantE, wantB int64
+		for _, o := range obs {
+			p.Observe(int(o%7), int64(o%3), int64(o))
+			wantE += int64(o % 3)
+			wantB += int64(o)
+		}
+		tot := p.Total()
+		return tot.Errors == wantE && tot.Bits == wantB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value").
+		Row("alpha", 1.5).
+		Row("b", 42)
+	s := tb.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "42") {
+		t.Fatalf("table missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b").Row("x,y", `q"z`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) {
+		t.Fatalf("CSV escaping broken: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("CSV header broken: %q", csv)
+	}
+}

@@ -1,0 +1,204 @@
+package swizzle
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The four geometries used by the catalog devices.
+func geometries() map[string]*ColumnMap {
+	return map[string]*ColumnMap{
+		"MfrA-x4-coupled":   MustColumnMap(8192, 512, 32, RowHalf),
+		"MfrB-x4-coupled":   MustColumnMap(8192, 1024, 32, RowHalf),
+		"MfrC-x4-uncoupled": MustColumnMap(8192, 512, 32, ColumnLSB),
+		"MfrA-x8":           MustColumnMap(8192, 512, 64, AllMATs),
+		"MfrB-x8":           MustColumnMap(8192, 1024, 64, AllMATs),
+	}
+}
+
+func TestColumnsPerRow(t *testing.T) {
+	want := map[string]int{
+		"MfrA-x4-coupled":   128,
+		"MfrB-x4-coupled":   128,
+		"MfrC-x4-uncoupled": 256,
+		"MfrA-x8":           128,
+		"MfrB-x8":           128,
+	}
+	for name, m := range geometries() {
+		if m.Columns() != want[name] {
+			t.Errorf("%s: Columns = %d, want %d", name, m.Columns(), want[name])
+		}
+	}
+}
+
+// Every geometry must be a bijection between logical coordinates and
+// the physical bitlines it owns, and together the halves must tile the
+// full wordline.
+func TestBijection(t *testing.T) {
+	for name, m := range geometries() {
+		seen := make([]bool, 8192)
+		n := 0
+		for half := 0; half < m.Halves(); half++ {
+			for col := 0; col < m.Columns(); col++ {
+				for bit := 0; bit < m.DataWidth(); bit++ {
+					x := m.PhysBL(col, bit, half)
+					if x < 0 || x >= 8192 {
+						t.Fatalf("%s: PhysBL out of range: %d", name, x)
+					}
+					if seen[x] {
+						t.Fatalf("%s: bitline %d mapped twice", name, x)
+					}
+					seen[x] = true
+					n++
+					c2, b2, h2 := m.FromPhysBL(x)
+					if c2 != col || b2 != bit || h2 != half {
+						t.Fatalf("%s: roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)",
+							name, col, bit, half, x, c2, b2, h2)
+					}
+				}
+			}
+		}
+		if n != 8192 {
+			t.Fatalf("%s: mapped %d cells, want full 8192-cell wordline", name, n)
+		}
+	}
+}
+
+// The paper's concrete example (§IV-A): on a Mfr. A x4 chip, bit 0 of
+// a burst is physically adjacent (distance 1 and 2) to bits 1 and 16
+// of the same burst and bits 1 and 17 of the previous burst.
+func TestMfrAAdjacencyExample(t *testing.T) {
+	m := geometries()["MfrA-x4-coupled"]
+	const col, half = 5, 0
+	x0 := m.PhysBL(col, 0, half)
+
+	adjacent := map[int][3]int{} // distance -> (col,bit,half)
+	for _, d := range []int{-2, -1, 1, 2} {
+		x := x0 + d
+		if x < 0 || x >= 8192 || !m.SameMAT(x0, x) {
+			continue
+		}
+		c, b, h := m.FromPhysBL(x)
+		adjacent[d] = [3]int{c, b, h}
+	}
+	want := map[int][3]int{
+		+1: {col, 16, half},     // bit 16 of the same burst
+		+2: {col, 1, half},      // bit 1 of the same burst
+		-1: {col - 1, 17, half}, // bit 17 of the previous burst
+		-2: {col - 1, 1, half},  // bit 1 of the previous burst
+	}
+	for d, w := range want {
+		if adjacent[d] != w {
+			t.Errorf("distance %+d: got %v, want %v", d, adjacent[d], w)
+		}
+	}
+}
+
+// O1: one burst is collected from multiple MATs — 8 MATs x 4 bits for
+// the Mfr. A x4 geometry.
+func TestBurstSpansMATs(t *testing.T) {
+	m := geometries()["MfrA-x4-coupled"]
+	mats := map[int]int{}
+	for bit := 0; bit < 32; bit++ {
+		mats[m.MATOf(m.PhysBL(0, bit, 0))]++
+	}
+	if len(mats) != 8 {
+		t.Fatalf("burst spans %d MATs, want 8", len(mats))
+	}
+	for mat, n := range mats {
+		if n != 4 {
+			t.Errorf("MAT %d serves %d bits, want 4", mat, n)
+		}
+	}
+}
+
+// Coupled halves must own disjoint interleaved MATs.
+func TestRowHalvesOwnAlternatingMATs(t *testing.T) {
+	m := geometries()["MfrA-x4-coupled"]
+	for half := 0; half < 2; half++ {
+		for bit := 0; bit < 32; bit += 7 {
+			for col := 0; col < m.Columns(); col += 31 {
+				mat := m.MATOf(m.PhysBL(col, bit, half))
+				if mat%2 != half {
+					t.Fatalf("half %d touched MAT %d", half, mat)
+				}
+			}
+		}
+	}
+}
+
+// A burst's cells within one MAT must stay within one contiguous
+// cell group, and consecutive columns must occupy adjacent groups
+// (the horizontal-influence chain the swizzle probe walks).
+func TestConsecutiveColumnsAdjacent(t *testing.T) {
+	for name, m := range geometries() {
+		if m.source == ColumnLSB {
+			// Consecutive columns alternate MAT groups; columns c and
+			// c+2 are the intra-MAT neighbors instead.
+			x0 := m.PhysBL(0, 0, 0)
+			x2 := m.PhysBL(2, 0, 0)
+			if m.MATOf(x0) != m.MATOf(x2) {
+				t.Errorf("%s: columns 0 and 2 should share a MAT", name)
+			}
+			continue
+		}
+		x0 := m.PhysBL(0, 0, 0)
+		x1 := m.PhysBL(1, 0, 0)
+		if m.MATOf(x0) != m.MATOf(x1) {
+			t.Errorf("%s: columns 0 and 1 should share a MAT", name)
+		}
+		if d := x1 - x0; d != m.bitsPerMAT {
+			t.Errorf("%s: column stride %d, want %d", name, d, m.bitsPerMAT)
+		}
+	}
+}
+
+func TestFromPhysBLQuick(t *testing.T) {
+	m := geometries()["MfrB-x4-coupled"]
+	f := func(x16 uint16) bool {
+		x := int(x16) % 8192
+		col, bit, half := m.FromPhysBL(x)
+		return m.PhysBL(col, bit, half) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewColumnMapRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		rowBits, matWidth, dataWidth int
+		source                       HalfSource
+	}{
+		{8192, 500, 32, AllMATs},  // MAT width does not divide
+		{8192, 512, 0, AllMATs},   // zero burst
+		{8192, 512, 65, AllMATs},  // burst too wide
+		{8192, 512, 12, AllMATs},  // not a multiple of 8
+		{8192, 8192, 32, RowHalf}, // single MAT cannot split halves
+		{8192, 512, 8, AllMATs},   // 16 MATs cannot supply 8 bits
+	}
+	for i, c := range cases {
+		if _, err := NewColumnMap(c.rowBits, c.matWidth, c.dataWidth, c.source); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPhysBLPanicsOutOfRange(t *testing.T) {
+	m := geometries()["MfrA-x4-coupled"]
+	for _, fn := range []func(){
+		func() { m.PhysBL(-1, 0, 0) },
+		func() { m.PhysBL(0, 32, 0) },
+		func() { m.PhysBL(0, 0, 2) },
+		func() { m.FromPhysBL(8192) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

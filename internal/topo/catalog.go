@@ -1,0 +1,164 @@
+package topo
+
+import "dramscope/internal/sim"
+
+// The catalog reproduces Table I (the tested chip population) with the
+// Table III microarchitectural parameters attached to each entry.
+//
+// Scaling: bank sizes are reduced (fewer pattern-block repetitions
+// than an 8 Gb die) while preserving every structural relation the
+// paper reports — subarray compositions are verbatim, the coupled-row
+// distance remains exactly Nrow/2, and edge regions keep their
+// block-relative positions. DESIGN.md §1 records this substitution.
+
+// Subarray pattern blocks, verbatim from Table III.
+var (
+	blockA1 = flatten(576, repeat(640, 11), 576) // 11x640 + 2x576 per 8192
+	blockA2 = flatten(832, 832, 768, 832, 832)   // 4x832 + 1x768 per 4096
+	blockC1 = flatten(688, 672, 688)             // 2x688 + 1x672 per 2048
+	blockC2 = flatten(680, 688, 680)             // 1x688 + 2x680 per 2048
+)
+
+func repeat(h, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = h
+	}
+	return out
+}
+
+func flatten(parts ...interface{}) []int {
+	var out []int
+	for _, p := range parts {
+		switch v := p.(type) {
+		case int:
+			out = append(out, v)
+		case []int:
+			out = append(out, v...)
+		default:
+			panic("topo: flatten accepts int or []int")
+		}
+	}
+	return out
+}
+
+// ddr4 fills the fields shared by all DDR4 profiles.
+func ddr4(p Profile) Profile {
+	p.Kind = "DDR4"
+	p.Density = "8Gb"
+	p.Timing = sim.DDR4()
+	p.Banks = 4
+	p.RowBits = 8192
+	return p
+}
+
+// Catalog returns the full tested-device population of Table I, in
+// paper order. Each entry is a complete, buildable profile.
+func Catalog() []Profile {
+	list := []Profile{
+		// ---- Mfr. A DDR4 ----
+		ddr4(Profile{Name: "MfrA-DDR4-x4-2016", Vendor: "A", ChipWidth: 4, Year: 2016, ChipsTested: 80,
+			MATWidth: 512, Block: blockA1, Blocks: 2, EdgeRegionBlocks: 1,
+			Coupled: true, RowRemap: true, Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrA-DDR4-x4-2017", Vendor: "A", ChipWidth: 4, Year: 2017, ChipsTested: 16,
+			MATWidth: 512, Block: blockA1, Blocks: 2, EdgeRegionBlocks: 1,
+			Coupled: true, RowRemap: true, Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrA-DDR4-x4-2018", Vendor: "A", ChipWidth: 4, Year: 2018, ChipsTested: 32,
+			MATWidth: 512, Block: blockA2, Blocks: 8, EdgeRegionBlocks: 8,
+			RowRemap: true, Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrA-DDR4-x4-2021", Vendor: "A", ChipWidth: 4, Year: 2021, ChipsTested: 32,
+			MATWidth: 512, Block: blockA2, Blocks: 8, EdgeRegionBlocks: 8,
+			RowRemap: true, Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrA-DDR4-x8-2017", Vendor: "A", ChipWidth: 8, Year: 2017, ChipsTested: 16,
+			MATWidth: 512, Block: blockA1, Blocks: 2, EdgeRegionBlocks: 2,
+			RowRemap: true, Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrA-DDR4-x8-2018", Vendor: "A", ChipWidth: 8, Year: 2018, ChipsTested: 32,
+			MATWidth: 512, Block: blockA2, Blocks: 8, EdgeRegionBlocks: 8,
+			RowRemap: true, Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrA-DDR4-x8-2019", Vendor: "A", ChipWidth: 8, Year: 2019, ChipsTested: 16,
+			MATWidth: 512, Block: blockA1, Blocks: 2, EdgeRegionBlocks: 2,
+			RowRemap: true, Scheme: TrueCellsOnly}),
+
+		// ---- Mfr. B DDR4 ----
+		ddr4(Profile{Name: "MfrB-DDR4-x4-2019", Vendor: "B", ChipWidth: 4, Year: 2019, ChipsTested: 64,
+			MATWidth: 1024, Block: blockA2, Blocks: 4, EdgeRegionBlocks: 4,
+			Coupled: true, Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrB-DDR4-x8-2017", Vendor: "B", ChipWidth: 8, Year: 2017, ChipsTested: 32,
+			MATWidth: 1024, Block: blockA2, Blocks: 8, EdgeRegionBlocks: 8,
+			Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrB-DDR4-x8-2018", Vendor: "B", ChipWidth: 8, Year: 2018, ChipsTested: 24,
+			MATWidth: 1024, Block: blockA2, Blocks: 8, EdgeRegionBlocks: 8,
+			Scheme: TrueCellsOnly}),
+		ddr4(Profile{Name: "MfrB-DDR4-x8-2019", Vendor: "B", ChipWidth: 8, Year: 2019, ChipsTested: 8,
+			MATWidth: 1024, Block: blockA2, Blocks: 8, EdgeRegionBlocks: 8,
+			Scheme: TrueCellsOnly}),
+
+		// ---- Mfr. C DDR4 ----
+		ddr4(Profile{Name: "MfrC-DDR4-x4-2018", Vendor: "C", ChipWidth: 4, Year: 2018, ChipsTested: 32,
+			MATWidth: 512, Block: blockC1, Blocks: 16, EdgeRegionBlocks: 16,
+			Scheme: InterleavedTrueAnti}),
+		ddr4(Profile{Name: "MfrC-DDR4-x4-2021", Vendor: "C", ChipWidth: 4, Year: 2021, ChipsTested: 32,
+			MATWidth: 512, Block: blockC1, Blocks: 16, EdgeRegionBlocks: 16,
+			Scheme: InterleavedTrueAnti}),
+		ddr4(Profile{Name: "MfrC-DDR4-x8-2016", Vendor: "C", ChipWidth: 8, Year: 2016, ChipsTested: 8,
+			MATWidth: 512, Block: blockC2, Blocks: 4, EdgeRegionBlocks: 2,
+			Scheme: InterleavedTrueAnti}),
+		ddr4(Profile{Name: "MfrC-DDR4-x8-2019", Vendor: "C", ChipWidth: 8, Year: 2019, ChipsTested: 16,
+			MATWidth: 512, Block: blockC1, Blocks: 16, EdgeRegionBlocks: 16,
+			Scheme: InterleavedTrueAnti}),
+
+		// ---- Mfr. A HBM2 ----
+		{Name: "MfrA-HBM2-4Hi", Vendor: "A", Kind: "HBM2", ChipWidth: 4,
+			Density: "4GB/stack", ChipsTested: 4,
+			Timing: sim.HBM2(), Banks: 4, RowBits: 8192,
+			MATWidth: 512, Block: blockA2, Blocks: 2, EdgeRegionBlocks: 1,
+			Coupled: true, RowRemap: true, Scheme: TrueCellsOnly},
+	}
+	return list
+}
+
+// ByName returns the catalog profile with the given name.
+func ByName(name string) (Profile, bool) {
+	for _, p := range Catalog() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Representative returns one profile per distinct microarchitecture,
+// covering every vendor, both chip widths, and HBM2 — the set used by
+// the experiment harness when sweeping "device types" as the paper's
+// figures do (Mfr. A/B/C DDR4 and Mfr. A HBM2).
+func Representative() []Profile {
+	names := []string{
+		"MfrA-DDR4-x4-2016", // coupled + remap + 640/576 composition
+		"MfrA-DDR4-x4-2021", // the Fig. 12 device (Mfr. A-2021 DDR4)
+		"MfrA-DDR4-x8-2017", // x8, no coupling
+		"MfrB-DDR4-x4-2019", // 1024-bit MATs, coupled, no remap
+		"MfrC-DDR4-x8-2016", // true/anti interleave, 4K-row edge interval
+		"MfrC-DDR4-x4-2018", // true/anti interleave, 672/688 composition
+		"MfrA-HBM2-4Hi",     // HBM2, 8K coupled distance
+	}
+	out := make([]Profile, 0, len(names))
+	for _, n := range names {
+		p, ok := ByName(n)
+		if !ok {
+			panic("topo: representative profile missing: " + n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Small returns a reduced single-block profile for fast unit tests:
+// Mfr. A-style topology (coupled, remapped, true cells) with three
+// small subarrays. It is not part of Table I.
+func Small() Profile {
+	return ddr4(Profile{
+		Name: "Small-test", Vendor: "A", ChipWidth: 4, Year: 0, ChipsTested: 0,
+		MATWidth: 512, Block: []int{64, 96, 64}, Blocks: 2, EdgeRegionBlocks: 1,
+		Coupled: true, RowRemap: true, Scheme: TrueCellsOnly,
+	})
+}

@@ -1,0 +1,196 @@
+package topo
+
+import "testing"
+
+func TestCatalogMatchesTableI(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 16 {
+		t.Fatalf("catalog has %d entries, Table I lists 16", len(cat))
+	}
+	// Chip counts per vendor, from Table I: A=160+... (DDR4 only).
+	counts := map[string]int{}
+	for _, p := range cat {
+		if p.Kind == "DDR4" {
+			counts[p.Vendor] += p.ChipsTested
+		}
+	}
+	want := map[string]int{"A": 224, "B": 128, "C": 88}
+	// Table I: Mfr. A 160 x4 + 64 x8? The paper's text says 160 chips
+	// from Mfr. A; the table rows sum to 80+16+32+32+16+32+16 = 224.
+	// We reproduce the table rows (the table is the primary source).
+	for v, n := range want {
+		if counts[v] != n {
+			t.Errorf("vendor %s DDR4 chips = %d, want %d", v, counts[v], n)
+		}
+	}
+}
+
+func TestCatalogAllBuildable(t *testing.T) {
+	for _, p := range Catalog() {
+		if _, err := p.Build(); err != nil {
+			t.Errorf("profile %s does not build: %v", p.Name, err)
+		}
+	}
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Catalog() {
+		if seen[p.Name] {
+			t.Errorf("duplicate profile name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestBlockCompositionsMatchTableIII(t *testing.T) {
+	sum := func(xs []int) int {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if got := sum(blockA1); got != 8192 {
+		t.Errorf("blockA1 sums to %d, want 8192", got)
+	}
+	if got := sum(blockA2); got != 4096 {
+		t.Errorf("blockA2 sums to %d, want 4096", got)
+	}
+	if got := sum(blockC1); got != 2048 {
+		t.Errorf("blockC1 sums to %d, want 2048", got)
+	}
+	if got := sum(blockC2); got != 2048 {
+		t.Errorf("blockC2 sums to %d, want 2048", got)
+	}
+	// Height multiplicities from Table III.
+	count := func(xs []int, h int) int {
+		n := 0
+		for _, x := range xs {
+			if x == h {
+				n++
+			}
+		}
+		return n
+	}
+	if count(blockA1, 640) != 11 || count(blockA1, 576) != 2 {
+		t.Error("blockA1 composition wrong")
+	}
+	if count(blockA2, 832) != 4 || count(blockA2, 768) != 1 {
+		t.Error("blockA2 composition wrong")
+	}
+	if count(blockC1, 688) != 2 || count(blockC1, 672) != 1 {
+		t.Error("blockC1 composition wrong")
+	}
+	if count(blockC2, 680) != 2 || count(blockC2, 688) != 1 {
+		t.Error("blockC2 composition wrong")
+	}
+}
+
+func TestSubarrayHeightsNotPowerOfTwo(t *testing.T) {
+	// O4: subarray heights are not powers of two.
+	isPow2 := func(x int) bool { return x&(x-1) == 0 }
+	for _, b := range [][]int{blockA1, blockA2, blockC1, blockC2} {
+		for _, h := range b {
+			if isPow2(h) {
+				t.Errorf("subarray height %d is a power of two; O4 says none are", h)
+			}
+		}
+	}
+}
+
+func TestCoupledDistanceIsHalfRowSpace(t *testing.T) {
+	// §VI-B expresses the coupled relation as (n, n + N/2); verify for
+	// every coupled profile.
+	for _, p := range Catalog() {
+		if !p.Coupled {
+			continue
+		}
+		tp := p.MustBuild()
+		partner, ok := tp.CoupledPartner(0)
+		if !ok || partner != tp.LogicalRows()/2 {
+			t.Errorf("%s: coupled distance %d, want %d", p.Name, partner, tp.LogicalRows()/2)
+		}
+	}
+}
+
+func TestHBM2CoupledDistanceIs8K(t *testing.T) {
+	p, ok := ByName("MfrA-HBM2-4Hi")
+	if !ok {
+		t.Fatal("HBM2 profile missing")
+	}
+	tp := p.MustBuild()
+	if d, _ := tp.CoupledPartner(0); d != 8192 {
+		t.Fatalf("HBM2 coupled distance = %d, want 8192 (Table III: 8K rows)", d)
+	}
+}
+
+func TestOnlyMfrARemaps(t *testing.T) {
+	// §III-C pitfall 2: only Mfr. A (DDR4 and HBM2) remaps rows.
+	for _, p := range Catalog() {
+		if p.RowRemap != (p.Vendor == "A") {
+			t.Errorf("%s: RowRemap=%v, want %v", p.Name, p.RowRemap, p.Vendor == "A")
+		}
+	}
+}
+
+func TestOnlyMfrCInterleavesAntiCells(t *testing.T) {
+	for _, p := range Catalog() {
+		want := TrueCellsOnly
+		if p.Vendor == "C" {
+			want = InterleavedTrueAnti
+		}
+		if p.Scheme != want {
+			t.Errorf("%s: scheme %v, want %v", p.Name, p.Scheme, want)
+		}
+	}
+}
+
+func TestMATWidthsMatchO2(t *testing.T) {
+	// O2: MAT width 512 (Mfr. A, C) or 1024 (Mfr. B).
+	for _, p := range Catalog() {
+		want := 512
+		if p.Vendor == "B" {
+			want = 1024
+		}
+		if p.MATWidth != want {
+			t.Errorf("%s: MAT width %d, want %d", p.Name, p.MATWidth, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("no-such-profile"); ok {
+		t.Fatal("ByName should miss unknown names")
+	}
+	p, ok := ByName("MfrB-DDR4-x4-2019")
+	if !ok || !p.Coupled || p.MATWidth != 1024 {
+		t.Fatalf("ByName returned wrong profile: %+v ok=%v", p, ok)
+	}
+}
+
+func TestRepresentativeBuildable(t *testing.T) {
+	reps := Representative()
+	if len(reps) < 4 {
+		t.Fatalf("need at least 4 representative devices, got %d", len(reps))
+	}
+	vendors := map[string]bool{}
+	kinds := map[string]bool{}
+	for _, p := range reps {
+		if _, err := p.Build(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		vendors[p.Vendor] = true
+		kinds[p.Kind] = true
+	}
+	if !vendors["A"] || !vendors["B"] || !vendors["C"] || !kinds["HBM2"] {
+		t.Error("representative set must cover all vendors and HBM2")
+	}
+}
+
+func TestSmallProfileFast(t *testing.T) {
+	tp := Small().MustBuild()
+	if tp.PhysRows() > 1024 {
+		t.Fatalf("Small profile too large for unit tests: %d rows", tp.PhysRows())
+	}
+}

@@ -1,0 +1,395 @@
+// Package topo holds the ground-truth row-dimension microarchitecture
+// of a simulated DRAM chip: subarray compositions (paper Table III),
+// internal row remapping (§III-C pitfall 2), coupled-row aliasing
+// (§IV-B, O3), edge-subarray pairing (§IV-C, O5), and the true-/anti-
+// cell layout (§III-B).
+//
+// Nothing in this package is observable directly by the
+// reverse-engineering suite; probes must infer all of it through the
+// command interface. Tests compare probe output against this ground
+// truth.
+package topo
+
+import (
+	"fmt"
+
+	"dramscope/internal/sim"
+)
+
+// CellScheme describes how true-cells and anti-cells are laid out.
+// A true-cell stores logical 1 as a charged capacitor; an anti-cell
+// stores logical 1 as a discharged capacitor.
+type CellScheme uint8
+
+const (
+	// TrueCellsOnly: every cell is a true-cell (Mfr. A and Mfr. B).
+	TrueCellsOnly CellScheme = iota
+	// InterleavedTrueAnti: true- and anti-cells alternate at subarray
+	// granularity (Mfr. C); even subarray index = true, odd = anti.
+	InterleavedTrueAnti
+)
+
+// String names the scheme.
+func (s CellScheme) String() string {
+	if s == TrueCellsOnly {
+		return "true-cells-only"
+	}
+	return "interleaved-true-anti"
+}
+
+// remapLUT is the internal row scramble used by Mfr. A devices: row
+// order within each 4-row group is 0,1,3,2 (the physically adjacent
+// pair of the upper two rows is swapped). The LUT is its own inverse.
+var remapLUT = [4]int{0, 1, 3, 2}
+
+// Profile is the buildable description of one tested device
+// configuration (one row of Table I, with the microarchitectural
+// parameters of Table III).
+type Profile struct {
+	Name        string // unique, e.g. "MfrA-DDR4-x4-2016"
+	Vendor      string // "A", "B", or "C"
+	Kind        string // "DDR4" or "HBM2"
+	ChipWidth   int    // 4 or 8 (x4 / x8); HBM2 uses 4 by convention here
+	Density     string // e.g. "8Gb" (Table I metadata)
+	Year        int    // manufacture year (0 = N/A)
+	ChipsTested int    // number of chips in the paper's population
+
+	Timing sim.Timing
+	Banks  int // banks per chip (scaled)
+
+	// RowBits is the number of cells on one physical wordline.
+	RowBits int
+	// MATWidth is the number of cells per row within a single MAT
+	// (O2: 512 or 1024 for the tested chips).
+	MATWidth int
+
+	// Block lists subarray heights of one repeating pattern block,
+	// in physical order (Table III "subarray composition").
+	Block []int
+	// Blocks is the number of pattern blocks per bank.
+	Blocks int
+	// EdgeRegionBlocks is the number of consecutive blocks forming one
+	// edge region; the first subarray of the region's first block and
+	// the last subarray of its last block are the paired edge
+	// subarrays.
+	EdgeRegionBlocks int
+
+	// Coupled indicates coupled-row aliasing: the logical row space is
+	// twice the physical wordline count, and rows i and i+N/2 drive
+	// the same wordline, each owning half of its MATs.
+	Coupled bool
+	// RowRemap enables the Mfr. A internal row scramble.
+	RowRemap bool
+
+	Scheme CellScheme
+}
+
+// Validate checks internal consistency of the profile.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("topo: profile needs a name")
+	}
+	if err := p.Timing.Validate(); err != nil {
+		return fmt.Errorf("topo: profile %s: %w", p.Name, err)
+	}
+	if p.Banks <= 0 {
+		return fmt.Errorf("topo: profile %s: banks must be positive", p.Name)
+	}
+	if p.RowBits <= 0 || p.RowBits%64 != 0 {
+		return fmt.Errorf("topo: profile %s: RowBits must be a positive multiple of 64", p.Name)
+	}
+	if p.MATWidth <= 0 || p.RowBits%p.MATWidth != 0 {
+		return fmt.Errorf("topo: profile %s: MATWidth must divide RowBits", p.Name)
+	}
+	if len(p.Block) == 0 {
+		return fmt.Errorf("topo: profile %s: empty pattern block", p.Name)
+	}
+	for _, h := range p.Block {
+		if h <= 0 || h%4 != 0 {
+			// Heights must be multiples of 4 so the 4-row remap group
+			// never straddles a subarray boundary.
+			return fmt.Errorf("topo: profile %s: subarray height %d must be a positive multiple of 4", p.Name, h)
+		}
+	}
+	if p.Blocks <= 0 {
+		return fmt.Errorf("topo: profile %s: Blocks must be positive", p.Name)
+	}
+	if p.EdgeRegionBlocks <= 0 || p.Blocks%p.EdgeRegionBlocks != 0 {
+		return fmt.Errorf("topo: profile %s: Blocks (%d) must be a multiple of EdgeRegionBlocks (%d)",
+			p.Name, p.Blocks, p.EdgeRegionBlocks)
+	}
+	if first, last := p.Block[0], p.Block[len(p.Block)-1]; first != last {
+		return fmt.Errorf("topo: profile %s: edge subarrays must have equal heights (got %d and %d)",
+			p.Name, first, last)
+	}
+	if p.Coupled {
+		nmats := p.RowBits / p.MATWidth
+		if nmats%2 != 0 {
+			return fmt.Errorf("topo: profile %s: coupled rows need an even MAT count", p.Name)
+		}
+	}
+	return nil
+}
+
+// Topology is the built, query-ready form of a Profile.
+type Topology struct {
+	Profile
+
+	physRows int
+	logRows  int
+
+	subID     []int32 // per physical WL: subarray index
+	subStart  []int   // per subarray: first physical WL
+	subHeight []int   // per subarray: height
+	edgePair  []int32 // per subarray: partner subarray index, or -1
+}
+
+// Build constructs the Topology for a profile.
+func (p Profile) Build() (*Topology, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	blockRows := 0
+	for _, h := range p.Block {
+		blockRows += h
+	}
+	t := &Topology{Profile: p, physRows: blockRows * p.Blocks}
+	t.logRows = t.physRows
+	if p.Coupled {
+		t.logRows *= 2
+	}
+
+	t.subID = make([]int32, t.physRows)
+	wl := 0
+	for b := 0; b < p.Blocks; b++ {
+		for _, h := range p.Block {
+			id := int32(len(t.subStart))
+			t.subStart = append(t.subStart, wl)
+			t.subHeight = append(t.subHeight, h)
+			for i := 0; i < h; i++ {
+				t.subID[wl] = id
+				wl++
+			}
+		}
+	}
+
+	// Pair the outermost subarrays of each edge region.
+	t.edgePair = make([]int32, len(t.subStart))
+	for i := range t.edgePair {
+		t.edgePair[i] = -1
+	}
+	subsPerBlock := len(p.Block)
+	subsPerRegion := subsPerBlock * p.EdgeRegionBlocks
+	for r := 0; r*subsPerRegion < len(t.subStart); r++ {
+		lo := r * subsPerRegion
+		hi := lo + subsPerRegion - 1
+		t.edgePair[lo] = int32(hi)
+		t.edgePair[hi] = int32(lo)
+	}
+	return t, nil
+}
+
+// MustBuild is Build that panics on error; for tests and catalogs.
+func (p Profile) MustBuild() *Topology {
+	t, err := p.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// PhysRows returns the number of physical wordlines per bank.
+func (t *Topology) PhysRows() int { return t.physRows }
+
+// LogicalRows returns the number of addressable rows per bank.
+func (t *Topology) LogicalRows() int { return t.logRows }
+
+// remap applies the Mfr. A internal row scramble (a self-inverse
+// permutation of each 4-row group).
+func remap(r int) int { return (r &^ 3) | remapLUT[r&3] }
+
+// MapRow translates an addressed (logical) row into its physical
+// wordline and, for coupled devices, the MAT half (0 or 1) the row
+// owns. Panics if the row is out of range: callers are internal and
+// an out-of-range row is a programming error.
+func (t *Topology) MapRow(logical int) (wl, half int) {
+	if logical < 0 || logical >= t.logRows {
+		panic(fmt.Sprintf("topo: row %d out of range [0,%d)", logical, t.logRows))
+	}
+	r := logical
+	if t.RowRemap {
+		r = remap(r)
+	}
+	if t.Coupled {
+		return r % t.physRows, r / t.physRows
+	}
+	return r, 0
+}
+
+// UnmapRow is the inverse of MapRow.
+func (t *Topology) UnmapRow(wl, half int) int {
+	if wl < 0 || wl >= t.physRows {
+		panic(fmt.Sprintf("topo: wordline %d out of range [0,%d)", wl, t.physRows))
+	}
+	r := wl
+	if t.Coupled {
+		if half != 0 && half != 1 {
+			panic("topo: half must be 0 or 1 on coupled devices")
+		}
+		r += half * t.physRows
+	} else if half != 0 {
+		panic("topo: half must be 0 on uncoupled devices")
+	}
+	if t.RowRemap {
+		r = remap(r) // self-inverse
+	}
+	return r
+}
+
+// CoupledPartner returns the logical row that aliases the same
+// physical wordline, if the device has coupled rows.
+func (t *Topology) CoupledPartner(logical int) (int, bool) {
+	if !t.Coupled {
+		return 0, false
+	}
+	half := t.logRows / 2
+	if logical < half {
+		return logical + half, true
+	}
+	return logical - half, true
+}
+
+// SubarrayCount returns the number of subarrays per bank.
+func (t *Topology) SubarrayCount() int { return len(t.subStart) }
+
+// SubarrayOf returns the subarray index of a physical wordline.
+func (t *Topology) SubarrayOf(wl int) int { return int(t.subID[wl]) }
+
+// SubarrayBounds returns the half-open physical wordline range
+// [start, end) of subarray id.
+func (t *Topology) SubarrayBounds(id int) (start, end int) {
+	return t.subStart[id], t.subStart[id] + t.subHeight[id]
+}
+
+// SubarrayHeight returns the number of wordlines in subarray id.
+func (t *Topology) SubarrayHeight(id int) int { return t.subHeight[id] }
+
+// SameSubarray reports whether two physical wordlines share a
+// subarray (AIB and full-width RowCopy never cross subarrays).
+func (t *Topology) SameSubarray(a, b int) bool {
+	return t.subID[a] == t.subID[b]
+}
+
+// NeighborWLs returns the physical wordlines adjacent to wl within its
+// own subarray (the possible AIB victims of hammering wl).
+func (t *Topology) NeighborWLs(wl int) []int {
+	var out []int
+	if wl > 0 && t.SameSubarray(wl-1, wl) {
+		out = append(out, wl-1)
+	}
+	if wl+1 < t.physRows && t.SameSubarray(wl, wl+1) {
+		out = append(out, wl+1)
+	}
+	return out
+}
+
+// IsEdgeSubarray reports whether subarray id sits at a region edge
+// (has dummy bitlines and a tandem partner).
+func (t *Topology) IsEdgeSubarray(id int) bool { return t.edgePair[id] >= 0 }
+
+// EdgePartner returns the tandem partner of an edge subarray.
+func (t *Topology) EdgePartner(id int) (int, bool) {
+	if t.edgePair[id] < 0 {
+		return 0, false
+	}
+	return int(t.edgePair[id]), true
+}
+
+// EdgePartnerWL returns the wordline at the same offset inside the
+// tandem partner subarray, if wl lies in an edge subarray.
+func (t *Topology) EdgePartnerWL(wl int) (int, bool) {
+	id := t.SubarrayOf(wl)
+	p, ok := t.EdgePartner(id)
+	if !ok {
+		return 0, false
+	}
+	off := wl - t.subStart[id]
+	return t.subStart[p] + off, true
+}
+
+// AntiCells reports whether subarray id stores logical 1 as a
+// discharged capacitor (anti-cells).
+func (t *Topology) AntiCells(id int) bool {
+	return t.Scheme == InterleavedTrueAnti && id%2 == 1
+}
+
+// ConnectsUpper reports whether bitline x of subarray sub connects to
+// the sense-amplifier stripe above the subarray (open-bitline
+// convention: parity of x+sub). The complementary bitlines connect to
+// the stripe below.
+func ConnectsUpper(sub, x int) bool { return (x+sub)&1 == 1 }
+
+// CopyRelation describes whether and how RowCopy can move charge from
+// a source wordline onto a destination wordline.
+type CopyRelation uint8
+
+const (
+	// CopyNone: the rows share no bitlines; RowCopy has no effect.
+	CopyNone CopyRelation = iota
+	// CopyFull: same subarray; every column copies, charge preserved.
+	CopyFull
+	// CopyHalfUpper: adjacent subarrays, destination above source;
+	// only bitlines on the shared stripe copy, charge inverted.
+	CopyHalfUpper
+	// CopyHalfLower: adjacent subarrays, destination below source;
+	// the complementary half copies, charge inverted.
+	CopyHalfLower
+	// CopyEdgePair: tandem edge subarrays; the even-indexed bitline
+	// half copies, charge inverted (§IV-C; the exact column subset
+	// varies per device in the paper's footnote 5 — we fix one).
+	CopyEdgePair
+)
+
+// RegionOf returns the edge-region index of a subarray. Regions are
+// electrically separate: their outermost subarrays end in dummy
+// bitlines, so no sense-amp stripe crosses a region boundary.
+func (t *Topology) RegionOf(sub int) int {
+	subsPerRegion := len(t.Block) * t.EdgeRegionBlocks
+	return sub / subsPerRegion
+}
+
+// CopyRelationOf classifies the RowCopy relation from srcWL to dstWL.
+func (t *Topology) CopyRelationOf(srcWL, dstWL int) CopyRelation {
+	ss, ds := t.SubarrayOf(srcWL), t.SubarrayOf(dstWL)
+	sameRegion := t.RegionOf(ss) == t.RegionOf(ds)
+	switch {
+	case ss == ds:
+		return CopyFull
+	case ds == ss+1 && sameRegion:
+		return CopyHalfUpper
+	case ds == ss-1 && sameRegion:
+		return CopyHalfLower
+	}
+	if p, ok := t.EdgePartner(ss); ok && p == ds {
+		return CopyEdgePair
+	}
+	return CopyNone
+}
+
+// CopyCovers reports whether a RowCopy with the given relation
+// transfers charge at bitline position x (of the source subarray), and
+// whether the transferred charge is inverted.
+func (t *Topology) CopyCovers(rel CopyRelation, srcWL, x int) (covered, inverted bool) {
+	switch rel {
+	case CopyFull:
+		return true, false
+	case CopyHalfUpper:
+		return ConnectsUpper(t.SubarrayOf(srcWL), x), true
+	case CopyHalfLower:
+		return !ConnectsUpper(t.SubarrayOf(srcWL), x), true
+	case CopyEdgePair:
+		return x&1 == 0, true
+	default:
+		return false, false
+	}
+}

@@ -1,0 +1,319 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() *Topology { return Small().MustBuild() }
+
+func TestBuildRowCounts(t *testing.T) {
+	tp := small()
+	wantPhys := (64 + 96 + 64) * 2
+	if tp.PhysRows() != wantPhys {
+		t.Fatalf("PhysRows = %d, want %d", tp.PhysRows(), wantPhys)
+	}
+	if tp.LogicalRows() != 2*wantPhys {
+		t.Fatalf("LogicalRows = %d, want %d (coupled)", tp.LogicalRows(), 2*wantPhys)
+	}
+}
+
+func TestSubarrayPartition(t *testing.T) {
+	tp := small()
+	if tp.SubarrayCount() != 6 {
+		t.Fatalf("SubarrayCount = %d, want 6", tp.SubarrayCount())
+	}
+	// Bounds must tile the physical rows exactly.
+	covered := 0
+	for id := 0; id < tp.SubarrayCount(); id++ {
+		s, e := tp.SubarrayBounds(id)
+		if s != covered {
+			t.Fatalf("subarray %d starts at %d, want %d", id, s, covered)
+		}
+		if e-s != tp.SubarrayHeight(id) {
+			t.Fatalf("subarray %d bounds disagree with height", id)
+		}
+		for wl := s; wl < e; wl++ {
+			if tp.SubarrayOf(wl) != id {
+				t.Fatalf("SubarrayOf(%d) = %d, want %d", wl, tp.SubarrayOf(wl), id)
+			}
+		}
+		covered = e
+	}
+	if covered != tp.PhysRows() {
+		t.Fatalf("subarrays cover %d rows, want %d", covered, tp.PhysRows())
+	}
+}
+
+func TestMapRowBijective(t *testing.T) {
+	tp := small()
+	seen := make(map[[2]int]int)
+	for r := 0; r < tp.LogicalRows(); r++ {
+		wl, half := tp.MapRow(r)
+		key := [2]int{wl, half}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("rows %d and %d map to the same (wl,half)=%v", prev, r, key)
+		}
+		seen[key] = r
+		if back := tp.UnmapRow(wl, half); back != r {
+			t.Fatalf("UnmapRow(MapRow(%d)) = %d", r, back)
+		}
+	}
+}
+
+func TestMapRowPanicsOutOfRange(t *testing.T) {
+	tp := small()
+	for _, r := range []int{-1, tp.LogicalRows()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MapRow(%d) should panic", r)
+				}
+			}()
+			tp.MapRow(r)
+		}()
+	}
+}
+
+func TestRemapScramblesWithinGroupsOfFour(t *testing.T) {
+	tp := small()
+	// With the 0,1,3,2 LUT, logical rows 2 and 3 swap wordlines.
+	wl2, _ := tp.MapRow(2)
+	wl3, _ := tp.MapRow(3)
+	if wl2 != 3 || wl3 != 2 {
+		t.Fatalf("remap: MapRow(2)=%d MapRow(3)=%d, want 3 and 2", wl2, wl3)
+	}
+	wl0, _ := tp.MapRow(0)
+	wl1, _ := tp.MapRow(1)
+	if wl0 != 0 || wl1 != 1 {
+		t.Fatalf("remap must keep rows 0 and 1 in place")
+	}
+}
+
+func TestNoRemapIdentity(t *testing.T) {
+	p := Small()
+	p.RowRemap = false
+	p.Coupled = false
+	tp := p.MustBuild()
+	for r := 0; r < tp.LogicalRows(); r++ {
+		if wl, half := tp.MapRow(r); wl != r || half != 0 {
+			t.Fatalf("identity mapping broken at %d -> (%d,%d)", r, wl, half)
+		}
+	}
+}
+
+func TestCoupledPartner(t *testing.T) {
+	tp := small()
+	n := tp.LogicalRows()
+	p, ok := tp.CoupledPartner(5)
+	if !ok || p != 5+n/2 {
+		t.Fatalf("CoupledPartner(5) = %d,%v; want %d,true", p, ok, 5+n/2)
+	}
+	back, _ := tp.CoupledPartner(p)
+	if back != 5 {
+		t.Fatalf("partner of partner = %d, want 5", back)
+	}
+	// Coupled rows must share the same wordline with opposite halves.
+	wlA, hA := tp.MapRow(5)
+	wlB, hB := tp.MapRow(p)
+	if wlA != wlB || hA == hB {
+		t.Fatalf("coupled pair must alias one wordline: (%d,%d) vs (%d,%d)", wlA, hA, wlB, hB)
+	}
+}
+
+func TestUncoupledHasNoPartner(t *testing.T) {
+	p := Small()
+	p.Coupled = false
+	tp := p.MustBuild()
+	if _, ok := tp.CoupledPartner(0); ok {
+		t.Fatal("uncoupled device must not report a partner")
+	}
+}
+
+func TestNeighborWLsRespectSubarrays(t *testing.T) {
+	tp := small()
+	// First row of the bank: single neighbor.
+	if got := tp.NeighborWLs(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("NeighborWLs(0) = %v", got)
+	}
+	// Subarray boundary: row 63 is the last of subarray 0.
+	if got := tp.NeighborWLs(63); len(got) != 1 || got[0] != 62 {
+		t.Fatalf("NeighborWLs(63) = %v, want [62]", got)
+	}
+	if got := tp.NeighborWLs(64); len(got) != 1 || got[0] != 65 {
+		t.Fatalf("NeighborWLs(64) = %v, want [65]", got)
+	}
+	// Interior row: both neighbors.
+	if got := tp.NeighborWLs(70); len(got) != 2 {
+		t.Fatalf("NeighborWLs(70) = %v", got)
+	}
+}
+
+func TestEdgePairing(t *testing.T) {
+	tp := small() // 2 blocks, 1 block per region, 3 subarrays each
+	// Region 0: subarrays 0..2; region 1: subarrays 3..5.
+	cases := []struct{ sub, want int }{{0, 2}, {2, 0}, {3, 5}, {5, 3}}
+	for _, c := range cases {
+		got, ok := tp.EdgePartner(c.sub)
+		if !ok || got != c.want {
+			t.Errorf("EdgePartner(%d) = %d,%v; want %d,true", c.sub, got, ok, c.want)
+		}
+		if !tp.IsEdgeSubarray(c.sub) {
+			t.Errorf("subarray %d should be an edge subarray", c.sub)
+		}
+	}
+	if tp.IsEdgeSubarray(1) || tp.IsEdgeSubarray(4) {
+		t.Error("interior subarrays must not be edges")
+	}
+}
+
+func TestEdgePartnerWL(t *testing.T) {
+	tp := small()
+	// wl 5 is offset 5 in subarray 0; partner subarray 2 starts at 160.
+	got, ok := tp.EdgePartnerWL(5)
+	if !ok || got != 160+5 {
+		t.Fatalf("EdgePartnerWL(5) = %d,%v; want %d,true", got, ok, 165)
+	}
+	if _, ok := tp.EdgePartnerWL(100); ok {
+		t.Fatal("interior wordline must have no edge partner")
+	}
+}
+
+func TestAntiCellInterleave(t *testing.T) {
+	p := Small()
+	p.Scheme = InterleavedTrueAnti
+	tp := p.MustBuild()
+	for id := 0; id < tp.SubarrayCount(); id++ {
+		want := id%2 == 1
+		if tp.AntiCells(id) != want {
+			t.Fatalf("AntiCells(%d) = %v, want %v", id, tp.AntiCells(id), want)
+		}
+	}
+	if small().AntiCells(1) {
+		t.Fatal("true-cells-only scheme must never report anti cells")
+	}
+}
+
+func TestConnectsUpperAlternates(t *testing.T) {
+	for sub := 0; sub < 3; sub++ {
+		for x := 0; x < 16; x++ {
+			if ConnectsUpper(sub, x) == ConnectsUpper(sub, x+1) {
+				t.Fatalf("bitline stripe connection must alternate (sub=%d x=%d)", sub, x)
+			}
+		}
+		// Adjacent subarrays must agree on the shared stripe: the
+		// upper connection of sub matches the lower connection of
+		// sub+1 at every position.
+		for x := 0; x < 16; x++ {
+			if ConnectsUpper(sub, x) != !ConnectsUpper(sub+1, x) {
+				t.Fatalf("stripe sharing inconsistent at sub=%d x=%d", sub, x)
+			}
+		}
+	}
+}
+
+func TestCopyRelation(t *testing.T) {
+	tp := small()
+	if rel := tp.CopyRelationOf(10, 20); rel != CopyFull {
+		t.Errorf("same subarray => CopyFull, got %d", rel)
+	}
+	if rel := tp.CopyRelationOf(63, 64); rel != CopyHalfUpper {
+		t.Errorf("adjacent up => CopyHalfUpper, got %d", rel)
+	}
+	if rel := tp.CopyRelationOf(64, 63); rel != CopyHalfLower {
+		t.Errorf("adjacent down => CopyHalfLower, got %d", rel)
+	}
+	if rel := tp.CopyRelationOf(0, 170); rel != CopyEdgePair {
+		t.Errorf("edge partners => CopyEdgePair, got %d", rel)
+	}
+	if rel := tp.CopyRelationOf(0, 300); rel != CopyNone {
+		t.Errorf("distant subarrays => CopyNone, got %d", rel)
+	}
+}
+
+func TestCopyCoversHalves(t *testing.T) {
+	tp := small()
+	// Full copy: everything, not inverted.
+	cov, inv := tp.CopyCovers(CopyFull, 10, 3)
+	if !cov || inv {
+		t.Fatal("CopyFull must cover everything without inversion")
+	}
+	// Half copies: exactly half the positions, inverted, and the two
+	// directions must cover complementary halves.
+	nUp, nDown := 0, 0
+	for x := 0; x < 128; x++ {
+		up, invU := tp.CopyCovers(CopyHalfUpper, 63, x)
+		down, invD := tp.CopyCovers(CopyHalfLower, 63, x)
+		if up {
+			nUp++
+			if !invU {
+				t.Fatal("half copies must invert charge")
+			}
+		}
+		if down {
+			nDown++
+			if !invD {
+				t.Fatal("half copies must invert charge")
+			}
+		}
+		if up == down {
+			t.Fatalf("upper/lower halves must be complementary at x=%d", x)
+		}
+	}
+	if nUp != 64 || nDown != 64 {
+		t.Fatalf("half copies cover %d/%d positions, want 64/64", nUp, nDown)
+	}
+}
+
+func TestCopyEdgePairEvenHalf(t *testing.T) {
+	tp := small()
+	for x := 0; x < 32; x++ {
+		cov, inv := tp.CopyCovers(CopyEdgePair, 0, x)
+		if cov != (x%2 == 0) {
+			t.Fatalf("edge-pair coverage wrong at x=%d", x)
+		}
+		if cov && !inv {
+			t.Fatal("edge-pair copy must invert")
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	mutations := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Banks = 0 },
+		func(p *Profile) { p.RowBits = 100 },
+		func(p *Profile) { p.MATWidth = 500 },
+		func(p *Profile) { p.Block = nil },
+		func(p *Profile) { p.Block = []int{10} },
+		func(p *Profile) { p.Blocks = 0 },
+		func(p *Profile) { p.EdgeRegionBlocks = 3 }, // does not divide Blocks=2
+		func(p *Profile) { p.Block = []int{64, 96, 72} },
+		func(p *Profile) { p.Timing.TCK = 0 },
+	}
+	for i, m := range mutations {
+		p := Small()
+		m(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRemapSelfInverseQuick(t *testing.T) {
+	f := func(r uint16) bool {
+		return remap(remap(int(r))) == int(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemapStaysInGroup(t *testing.T) {
+	f := func(r uint16) bool {
+		return remap(int(r))>>2 == int(r)>>2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
