@@ -1,0 +1,36 @@
+# Entry points for the dramscope reproduction.
+#
+#   make test    - full tier-1 verify (build + vet + all tests)
+#   make race    - full test suite under the race detector
+#   make short   - fast unit tests only (skips catalog-scale probes)
+#   make bench   - regenerate every paper artifact as benchmarks
+#   make suite   - run the concurrent experiment suite (all artifacts)
+#
+# SUITE_FLAGS passes through to cmd/experiments, e.g.
+#   make suite SUITE_FLAGS='-run fig12,fig14 -jobs 8 -json out.json'
+
+GO ?= go
+SUITE_FLAGS ?= -run all
+
+.PHONY: build test race short bench suite vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+suite:
+	$(GO) run ./cmd/experiments $(SUITE_FLAGS)

@@ -3,15 +3,58 @@
 // the full experiment — device construction, blind reverse-
 // engineering, and measurement — and reports the paper-facing result
 // as custom metrics so `go test -bench=.` regenerates every artifact.
+// BenchmarkSuite drives the whole artifact set through the concurrent
+// Suite runner at several worker counts.
 package main
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"dramscope/internal/core"
 	"dramscope/internal/expt"
 	"dramscope/internal/topo"
 )
+
+// BenchmarkSuite regenerates every artifact through the Suite runner.
+// Sub-benchmarks sweep the worker count so `go test -bench Suite`
+// shows the parallel speedup directly; the rendered output is
+// byte-identical across them (the suite's determinism guarantee),
+// which the benchmark also asserts.
+func BenchmarkSuite(b *testing.B) {
+	var ref string
+	sweep := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
+		sweep = append(sweep, n)
+	}
+	for _, jobs := range sweep {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := expt.DefaultSuite("MfrA-DDR4-x4-2021", 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := s.Run(expt.Options{Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rep.Err(); err != nil {
+					b.Fatal(err)
+				}
+				text := rep.Text()
+				if text == "" {
+					b.Fatal("empty suite output")
+				}
+				if ref == "" {
+					ref = text
+				} else if text != ref {
+					b.Fatal("suite output differs across runs/worker counts")
+				}
+			}
+		})
+	}
+}
 
 // fig12Profile is the device the paper's Figure 12 reports
 // (Mfr. A-2021 DDR4 x4).

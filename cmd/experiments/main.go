@@ -1,11 +1,14 @@
 // Command experiments regenerates the paper's tables and figures
 // (the per-experiment index in DESIGN.md §5) against simulated
-// devices and prints the results as text tables.
+// devices. Experiments run concurrently over a worker pool; for a
+// fixed -seed the output is byte-identical for any -jobs value.
 //
 // Usage:
 //
 //	experiments -run table1,table3,fig5,fig7,fig8,fig10,fig12,fig14,fig15,fig16,defense,scrambler
-//	experiments -run all -profile MfrA-DDR4-x4-2021
+//	experiments -run all -profile MfrA-DDR4-x4-2021 -jobs 8
+//	experiments -json results.json -csv outdir
+//	experiments -list
 package main
 
 import (
@@ -16,199 +19,82 @@ import (
 	"strings"
 
 	"dramscope/internal/expt"
-	"dramscope/internal/stats"
-	"dramscope/internal/topo"
 )
 
-// csvDir, when set, receives one CSV file per rendered table — the
-// shape of the paper artifact's result files.
-var csvDir string
-
-func emit(id string, t *stats.Table) {
-	fmt.Println(t)
-	if csvDir == "" {
-		return
-	}
-	path := filepath.Join(csvDir, id+".csv")
-	if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments: csv:", err)
-	}
-}
-
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiment ids")
+	runList := flag.String("run", "all", "comma-separated experiment ids (see -list)")
 	profile := flag.String("profile", "MfrA-DDR4-x4-2021", "device profile for the figure experiments")
-	seed := flag.Uint64("seed", 7, "fault-map seed")
-	flag.StringVar(&csvDir, "csv", "", "directory for CSV result files (optional)")
+	seed := flag.Uint64("seed", 7, "suite base seed (per-experiment seeds are split from it)")
+	jobs := flag.Int("jobs", 0, "worker count (0 = GOMAXPROCS); results are identical for any value")
+	jsonPath := flag.String("json", "", "file for the machine-readable JSON report (optional)")
+	csvDir := flag.String("csv", "", "directory for CSV result files (optional)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
-	want := map[string]bool{}
-	for _, id := range strings.Split(*runList, ",") {
-		want[strings.TrimSpace(id)] = true
-	}
-	all := want["all"]
-	sel := func(id string) bool { return all || want[id] }
-
-	if err := run(sel, *profile, *seed); err != nil {
+	if err := run(*runList, *profile, *seed, *jobs, *jsonPath, *csvDir, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sel func(string) bool, profile string, seed uint64) error {
-	prof, ok := topo.ByName(profile)
-	if !ok {
-		return fmt.Errorf("unknown profile %q", profile)
+func run(runList, profile string, seed uint64, jobs int, jsonPath, csvDir string, list bool) error {
+	suite, err := expt.DefaultSuite(profile, seed)
+	if err != nil {
+		return err
 	}
-	var env *expt.Env
-	getEnv := func() (*expt.Env, error) {
-		if env != nil {
-			return env, nil
+	if list {
+		for _, name := range suite.Names() {
+			fmt.Println(name)
 		}
-		var err error
-		env, err = expt.NewEnv(prof, seed)
-		return env, err
+		return nil
 	}
 
-	if sel("table1") {
-		fmt.Println("== Table I: tested DRAM population ==")
-		emit("table1", expt.TableI())
+	var only []string
+	all := false
+	for _, id := range strings.Split(runList, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue // tolerate stray commas: "table1,"
+		}
+		if id == "all" {
+			all = true
+			continue
+		}
+		only = append(only, id)
 	}
-	if sel("table3") {
-		fmt.Println("== Table III: recovered subarray structure ==")
-		var rows []*expt.TableIIIRow
-		for _, p := range topo.Representative() {
-			e, err := expt.NewEnv(p, seed)
-			if err != nil {
-				return err
+	if all {
+		only = nil
+	} else if len(only) == 0 {
+		return fmt.Errorf("empty -run selection (use -list for experiment ids)")
+	}
+
+	rep, err := suite.Run(expt.Options{Jobs: jobs, Only: only})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Text())
+
+	if jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, res := range rep.Results {
+			for _, rt := range res.Tables {
+				path := filepath.Join(csvDir, rt.ID+".csv")
+				if err := os.WriteFile(path, []byte(rt.Table.CSV()), 0o644); err != nil {
+					return err
+				}
 			}
-			row, err := expt.TableIII(e)
-			if err != nil {
-				return fmt.Errorf("%s: %w", p.Name, err)
-			}
-			rows = append(rows, row)
 		}
-		emit("table3", expt.RenderTableIII(rows))
 	}
-	if sel("fig5") {
-		fmt.Println("== Figure 5: RCD inversion and DQ twisting pitfalls ==")
-		p, _ := topo.ByName("MfrB-DDR4-x8-2017")
-		res, err := expt.Fig5(p, 4, seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("aggressor module row %d\n", res.RCD.AggressorRow)
-		fmt.Printf("unaware victim distances: %v (phantom non-adjacent: %v)\n",
-			res.RCD.UnawareDistances, res.RCD.PhantomNonAdjacent())
-		fmt.Printf("aware victim distances:   %v (consistent: %v)\n",
-			res.RCD.AwareDistances, res.RCD.Consistent())
-		fmt.Printf("distinct chip images of host 0x55 pattern: %d\n\n", res.DistinctDQImages)
-	}
-	if sel("fig7") {
-		fmt.Println("== Figure 7: recovered data swizzle (O1, O2) ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		_, tbl, err := expt.Fig7(e)
-		if err != nil {
-			return err
-		}
-		emit("fig7", tbl)
-	}
-	if sel("fig8") {
-		fmt.Println("== Figure 8: pattern misplacement ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		r, err := expt.Fig8(e)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("host 0x55 'ColStripe' lands as: %s\n", r.NaiveColStripeClass)
-		fmt.Printf("mapping-corrected burst lands as: %s\n\n", r.CorrectedClass)
-	}
-	if sel("fig10") {
-		fmt.Println("== Figure 10: typical vs edge subarray BER (O6) ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		r, err := expt.Fig10(e)
-		if err != nil {
-			return err
-		}
-		emit("fig10", expt.RenderFig10([]*expt.Fig10Result{r}))
-	}
-	if sel("fig12") {
-		fmt.Println("== Figures 12-13: AIB alternation by physical bit index (O7-O10) ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		panels, err := expt.Fig12(e)
-		if err != nil {
-			return err
-		}
-		emit("fig12", expt.RenderFig12(panels))
-	}
-	if sel("fig14") {
-		fmt.Println("== Figure 14: horizontal data-pattern dependence (O11, O12) ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		r, err := expt.Fig14(e)
-		if err != nil {
-			return err
-		}
-		emit("fig14", expt.RenderFig14(r))
-	}
-	if sel("fig15") {
-		fmt.Println("== Figure 15: relative Hcnt (O13) ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		r, err := expt.Fig15(e)
-		if err != nil {
-			return err
-		}
-		emit("fig15", expt.RenderFig15(r))
-	}
-	if sel("fig16") {
-		fmt.Println("== Figures 16-17: adversarial pattern sweep (O14) ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		r, err := expt.Fig16(e, 8)
-		if err != nil {
-			return err
-		}
-		emit("fig16", expt.RenderFig16(r))
-	}
-	if sel("defense") {
-		fmt.Println("== §VI: coupled-row attacks vs defenses ==")
-		p, _ := topo.ByName("MfrA-DDR4-x4-2016")
-		r, err := expt.DefenseEval(p, seed)
-		if err != nil {
-			return err
-		}
-		emit("defense", r.Render())
-	}
-	if sel("scrambler") {
-		fmt.Println("== §VI-B: data scrambling vs the adversarial pattern ==")
-		e, err := getEnv()
-		if err != nil {
-			return err
-		}
-		r, err := expt.ScramblerEval(e, 8)
-		if err != nil {
-			return err
-		}
-		emit("scrambler", r.Render())
-	}
-	return nil
+	return rep.Err()
 }

@@ -1,0 +1,3 @@
+module dramscope
+
+go 1.24

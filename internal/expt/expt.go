@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"dramscope/internal/chip"
 	"dramscope/internal/core"
@@ -17,17 +18,40 @@ import (
 	"dramscope/internal/topo"
 )
 
+// probeCell caches one probe result (value or error) behind a
+// sync.Once so concurrent readers share a single probe run. The probes
+// drive the device through the Host, so the Once also guarantees the
+// device sees each probe's command sequence exactly once.
+type probeCell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (p *probeCell[T]) get(f func() (T, error)) (T, error) {
+	p.once.Do(func() { p.val, p.err = f() })
+	return p.val, p.err
+}
+
 // Env is one device under test plus its (lazily) recovered mapping.
+//
+// The probe accessors (Order, Subarrays, Cells, Swizzle) are safe for
+// concurrent use: each probe runs exactly once and later callers get
+// the cached result. The probes form a chain (Order -> Subarrays ->
+// Cells -> Swizzle), so concurrent callers of different accessors
+// serialize through the shared prefix. Measurements (AIB runs etc.)
+// mutate device state and are NOT safe to run concurrently on one Env;
+// the Suite scheduler serializes experiments that share a device.
 type Env struct {
 	Prof topo.Profile
 	Chip *chip.Chip
 	Host *host.Host
 	Bank int
 
-	order *core.RowOrder
-	sub   *core.SubarrayLayout
-	cells *core.CellPolarity
-	swz   *core.SwizzleMap
+	order probeCell[*core.RowOrder]
+	sub   probeCell[*core.SubarrayLayout]
+	cells probeCell[*core.CellPolarity]
+	swz   probeCell[*core.SwizzleMap]
 }
 
 // NewEnv builds a device and its host.
@@ -41,51 +65,36 @@ func NewEnv(prof topo.Profile, seed uint64) (*Env, error) {
 
 // Order runs (and caches) the row-order probe.
 func (e *Env) Order() (*core.RowOrder, error) {
-	if e.order == nil {
-		ro, err := core.ProbeRowOrder(e.Host, e.Bank)
-		if err != nil {
-			return nil, err
-		}
-		e.order = ro
-	}
-	return e.order, nil
+	return e.order.get(func() (*core.RowOrder, error) {
+		return core.ProbeRowOrder(e.Host, e.Bank)
+	})
 }
 
 // Subarrays runs (and caches) the subarray probe.
 func (e *Env) Subarrays() (*core.SubarrayLayout, error) {
-	if e.sub == nil {
+	return e.sub.get(func() (*core.SubarrayLayout, error) {
 		ro, err := e.Order()
 		if err != nil {
 			return nil, err
 		}
-		sub, err := core.ProbeSubarrays(e.Host, e.Bank, ro, core.DefaultSubarrayScan)
-		if err != nil {
-			return nil, err
-		}
-		e.sub = sub
-	}
-	return e.sub, nil
+		return core.ProbeSubarrays(e.Host, e.Bank, ro, core.DefaultSubarrayScan)
+	})
 }
 
 // Cells runs (and caches) the retention-based polarity probe.
 func (e *Env) Cells() (*core.CellPolarity, error) {
-	if e.cells == nil {
+	return e.cells.get(func() (*core.CellPolarity, error) {
 		sub, err := e.Subarrays()
 		if err != nil {
 			return nil, err
 		}
-		pol, err := core.ProbeCellPolarity(e.Host, e.Bank, sub)
-		if err != nil {
-			return nil, err
-		}
-		e.cells = pol
-	}
-	return e.cells, nil
+		return core.ProbeCellPolarity(e.Host, e.Bank, sub)
+	})
 }
 
 // Swizzle runs (and caches) the swizzle probe.
 func (e *Env) Swizzle() (*core.SwizzleMap, error) {
-	if e.swz == nil {
+	return e.swz.get(func() (*core.SwizzleMap, error) {
 		ro, err := e.Order()
 		if err != nil {
 			return nil, err
@@ -98,13 +107,44 @@ func (e *Env) Swizzle() (*core.SwizzleMap, error) {
 		if err != nil {
 			return nil, err
 		}
-		sm, err := core.ProbeSwizzle(e.Host, e.Bank, ro, sub, pol)
-		if err != nil {
-			return nil, err
-		}
-		e.swz = sm
+		return core.ProbeSwizzle(e.Host, e.Bank, ro, sub, pol)
+	})
+}
+
+// ProbeLevel identifies how deep the Order -> Subarrays -> Cells ->
+// Swizzle probe chain an experiment needs warmed before it runs.
+type ProbeLevel int
+
+const (
+	// ProbeNone: the experiment does not touch the cached probes.
+	ProbeNone ProbeLevel = iota
+	// ProbeOrder: row-order recovery only.
+	ProbeOrder
+	// ProbeSubarrays: row order plus subarray boundaries.
+	ProbeSubarrays
+	// ProbeCells: through the retention-based polarity probe.
+	ProbeCells
+	// ProbeSwizzle: the full chain, enough for AIB measurements.
+	ProbeSwizzle
+)
+
+// Warm runs the probe chain up to the given level so later accessors
+// hit the cache. Warming before any measurement keeps the device's
+// command history — and therefore every measurement result —
+// independent of which experiment on a shared device runs first.
+func (e *Env) Warm(level ProbeLevel) error {
+	steps := []func() error{
+		func() error { _, err := e.Order(); return err },
+		func() error { _, err := e.Subarrays(); return err },
+		func() error { _, err := e.Cells(); return err },
+		func() error { _, err := e.Swizzle(); return err },
 	}
-	return e.swz, nil
+	for i := 0; i < int(level) && i < len(steps); i++ {
+		if err := steps[i](); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // AIB returns a measurement harness wired to the recovered mapping.

@@ -9,7 +9,9 @@ import (
 
 // The full experiments run on catalog-scale devices; tests use the
 // Fig. 12 device (Mfr. A-2021 DDR4 x4, the one the paper's Figure 12
-// reports) unless noted, and skip in -short mode.
+// reports) unless noted, and skip in -short mode. Every test builds
+// its own Env (no shared device state), so they all run under
+// t.Parallel() and the package wall time amortizes across cores.
 func fig12Env(t *testing.T) *Env {
 	t.Helper()
 	p, ok := topo.ByName("MfrA-DDR4-x4-2021")
@@ -24,6 +26,7 @@ func fig12Env(t *testing.T) *Env {
 }
 
 func TestTableI(t *testing.T) {
+	t.Parallel()
 	s := TableI().String()
 	for _, want := range []string{"Mfr. A", "Mfr. B", "Mfr. C", "HBM2", "4-Hi stack", "80"} {
 		if !strings.Contains(s, want) {
@@ -33,6 +36,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestTableIIIRecoversGroundTruth(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("catalog-scale probe")
 	}
@@ -85,6 +89,7 @@ func TestTableIIIRecoversGroundTruth(t *testing.T) {
 }
 
 func TestFig5PitfallDemo(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("module-scale probe")
 	}
@@ -105,6 +110,7 @@ func TestFig5PitfallDemo(t *testing.T) {
 }
 
 func TestFig7And8(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("swizzle probe")
 	}
@@ -135,6 +141,7 @@ func TestFig7And8(t *testing.T) {
 }
 
 func TestFig10EdgeSubarraysLowerBER(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("catalog-scale measurement")
 	}
@@ -162,6 +169,7 @@ func TestFig10EdgeSubarraysLowerBER(t *testing.T) {
 }
 
 func TestFig12AlternationAndFig13Gates(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("catalog-scale measurement")
 	}
@@ -265,6 +273,7 @@ func (s stats2) rate() float64 {
 }
 
 func TestFig14HorizontalInfluence(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("catalog-scale measurement")
 	}
@@ -295,6 +304,7 @@ func TestFig14HorizontalInfluence(t *testing.T) {
 }
 
 func TestFig15HcntShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("catalog-scale measurement")
 	}
@@ -320,6 +330,7 @@ func TestFig15HcntShape(t *testing.T) {
 }
 
 func TestFig16WorstPattern(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("catalog-scale sweep")
 	}
@@ -346,6 +357,7 @@ func TestFig16WorstPattern(t *testing.T) {
 }
 
 func TestDefenseEval(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("defense scenarios")
 	}
@@ -375,6 +387,7 @@ func TestDefenseEval(t *testing.T) {
 }
 
 func TestScramblerEval(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("scrambler scenarios")
 	}

@@ -1,0 +1,549 @@
+// Suite is the experiment orchestrator: every paper artifact is
+// registered as a named, self-describing Experiment, and the Suite
+// executes a selection of them over a worker pool.
+//
+// Determinism is the design center. Results are bit-identical for a
+// fixed seed regardless of the worker count because
+//
+//   - every experiment draws its randomness from its own seed, split
+//     from the suite seed by name (rng.Split) — never from shared
+//     generator state;
+//   - experiments that share a device (Needs.Device) run serially in
+//     registration order on one shared Env, whose probe chain is
+//     warmed to the deepest level any of them declares before the
+//     first one measures — so the device's command history does not
+//     depend on scheduling;
+//   - experiments on different devices touch disjoint state and may
+//     interleave freely;
+//   - output is assembled in registration order, not completion order.
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"dramscope/internal/rng"
+	"dramscope/internal/stats"
+	"dramscope/internal/topo"
+)
+
+// Needs declares an experiment's scheduling requirements.
+type Needs struct {
+	// Device names a topo profile. Experiments that share a Device run
+	// serially, in registration order, against one shared Env; the
+	// empty string means the experiment manages its own devices and
+	// can run concurrently with everything it has no After edge to.
+	Device string
+	// Probe is the deepest probe-chain level the experiment reads from
+	// the shared Env. The scheduler warms the Env to the maximum level
+	// declared across the device's selected experiments before the
+	// first of them runs.
+	Probe ProbeLevel
+	// After lists experiments that must complete first (their results
+	// are visible through Job.Result). Selecting an experiment
+	// transitively selects its After dependencies.
+	After []string
+}
+
+// Job is the handle an Experiment's Run receives: its split seed, its
+// shared Env (if any), its output buffer, and the results of its
+// dependencies.
+type Job struct {
+	name  string
+	seed  uint64
+	env   *Env
+	suite *Suite
+	deps  map[string]bool
+
+	buf    strings.Builder
+	tables []RenderedTable
+	result interface{}
+}
+
+// Name returns the experiment's registered name.
+func (j *Job) Name() string { return j.name }
+
+// Seed returns the experiment's own seed, split from the suite seed by
+// experiment name. It is stable across runs, worker counts, and
+// selection subsets.
+func (j *Job) Seed() uint64 { return j.seed }
+
+// Env returns the shared device Env (nil unless Needs.Device is set).
+func (j *Job) Env() *Env { return j.env }
+
+// Printf appends a line-oriented message to the experiment's output
+// block.
+func (j *Job) Printf(format string, a ...interface{}) {
+	fmt.Fprintf(&j.buf, format, a...)
+}
+
+// Emit appends a rendered table to the output block and records it
+// under id for the machine-readable report.
+func (j *Job) Emit(id string, t *stats.Table) {
+	j.buf.WriteString(t.String())
+	j.buf.WriteString("\n")
+	j.tables = append(j.tables, RenderedTable{ID: id, Table: t})
+}
+
+// SetResult stores a typed result that experiments depending on this
+// one (via Needs.After) can read with Job.Result.
+func (j *Job) SetResult(v interface{}) { j.result = v }
+
+// Result returns the stored result of a completed dependency. Only
+// experiments declared in Needs.After are visible: an undeclared name
+// returns false even if that experiment happens to have finished,
+// because "happens to have finished" depends on the worker count and
+// would silently break the bit-identical-for-any-jobs guarantee.
+func (j *Job) Result(name string) (interface{}, bool) {
+	if !j.deps[name] {
+		return nil, false
+	}
+	j.suite.mu.Lock()
+	defer j.suite.mu.Unlock()
+	v, ok := j.suite.results[name]
+	return v, ok
+}
+
+// Experiment is one named, self-describing paper artifact.
+type Experiment struct {
+	// Name is the stable identifier used by -run selection, seed
+	// splitting, and After edges.
+	Name string
+	// Title, when non-empty, heads the experiment's output block.
+	Title string
+	Needs Needs
+	Run   func(*Job) error
+}
+
+// RenderedTable pairs a table with its artifact id.
+type RenderedTable struct {
+	ID    string
+	Table *stats.Table
+}
+
+// ExptResult is one experiment's outcome in a Report.
+type ExptResult struct {
+	Name   string
+	Title  string
+	Text   string // rendered block body (no title line)
+	Tables []RenderedTable
+	Err    error
+}
+
+// Report collects the outcomes of one Suite run in registration order.
+type Report struct {
+	Seed    uint64
+	Results []*ExptResult
+}
+
+// Text renders every experiment block in registration order — the
+// exact byte stream cmd/experiments prints. Experiments that produced
+// no output (helper steps) are omitted.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	for _, res := range r.Results {
+		if res.Err != nil || (res.Text == "" && res.Title == "") {
+			continue
+		}
+		if res.Title != "" {
+			fmt.Fprintf(&sb, "== %s ==\n", res.Title)
+		}
+		sb.WriteString(res.Text)
+	}
+	return sb.String()
+}
+
+// Err joins the failures, if any.
+func (r *Report) Err() error {
+	var msgs []string
+	for _, res := range r.Results {
+		if res.Err != nil {
+			msgs = append(msgs, fmt.Sprintf("%s: %v", res.Name, res.Err))
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("suite: %s", strings.Join(msgs, "; "))
+}
+
+// jsonReport is the machine-readable shape of a Report.
+type jsonReport struct {
+	Seed        uint64           `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	Name   string      `json:"name"`
+	Title  string      `json:"title,omitempty"`
+	Text   string      `json:"text,omitempty"`
+	Tables []jsonTable `json:"tables,omitempty"`
+	Err    string      `json:"error,omitempty"`
+}
+
+type jsonTable struct {
+	ID    string       `json:"id"`
+	Table *stats.Table `json:"table"`
+}
+
+// JSON renders the report machine-readably. The output is
+// deterministic for a fixed seed and selection: no timestamps or
+// durations, experiments in registration order.
+func (r *Report) JSON() ([]byte, error) {
+	out := jsonReport{Seed: r.Seed}
+	for _, res := range r.Results {
+		je := jsonExperiment{Name: res.Name, Title: res.Title, Text: res.Text}
+		for _, t := range res.Tables {
+			je.Tables = append(je.Tables, jsonTable{ID: t.ID, Table: t.Table})
+		}
+		if res.Err != nil {
+			je.Err = res.Err.Error()
+		}
+		out.Experiments = append(out.Experiments, je)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Suite holds the registered experiments and the per-device Envs they
+// share.
+type Suite struct {
+	seed     uint64
+	exps     []*Experiment
+	idx      map[string]int
+	profiles map[string]topo.Profile
+	ran      bool
+
+	mu      sync.Mutex
+	envs    map[string]*Env
+	results map[string]interface{}
+}
+
+// NewSuite creates an empty suite with the given base seed.
+func NewSuite(seed uint64) *Suite {
+	return &Suite{
+		seed:     seed,
+		idx:      make(map[string]int),
+		profiles: make(map[string]topo.Profile),
+		envs:     make(map[string]*Env),
+		results:  make(map[string]interface{}),
+	}
+}
+
+// RegisterProfile makes a device profile outside the Table I catalog
+// (e.g. topo.Small in tests) addressable through Needs.Device.
+func (s *Suite) RegisterProfile(p topo.Profile) {
+	s.profiles[p.Name] = p
+}
+
+// Seed returns the suite's base seed.
+func (s *Suite) Seed() uint64 { return s.seed }
+
+// Register adds an experiment. Names must be unique; After edges must
+// reference already-registered names (this also rules out dependency
+// cycles by construction).
+func (s *Suite) Register(e Experiment) error {
+	if e.Name == "" {
+		return fmt.Errorf("suite: experiment needs a name")
+	}
+	if e.Run == nil {
+		return fmt.Errorf("suite: experiment %s needs a Run func", e.Name)
+	}
+	if _, dup := s.idx[e.Name]; dup {
+		return fmt.Errorf("suite: duplicate experiment %s", e.Name)
+	}
+	for _, dep := range e.Needs.After {
+		if _, ok := s.idx[dep]; !ok {
+			return fmt.Errorf("suite: %s depends on unregistered %s", e.Name, dep)
+		}
+	}
+	cp := e
+	s.idx[e.Name] = len(s.exps)
+	s.exps = append(s.exps, &cp)
+	return nil
+}
+
+// Names returns the registered experiment names in registration order.
+func (s *Suite) Names() []string {
+	out := make([]string, len(s.exps))
+	for i, e := range s.exps {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// env returns the shared Env for a device profile, creating it on
+// first use with a seed split from the suite seed by device name.
+func (s *Suite) env(device string) (*Env, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.envs[device]; ok {
+		return e, nil
+	}
+	prof, ok := s.profiles[device]
+	if !ok {
+		prof, ok = topo.ByName(device)
+	}
+	if !ok {
+		return nil, fmt.Errorf("suite: unknown device profile %q", device)
+	}
+	e, err := NewEnv(prof, rng.Split(s.seed, "env:"+device))
+	if err != nil {
+		return nil, err
+	}
+	s.envs[device] = e
+	return e, nil
+}
+
+// Options configures one Suite run.
+type Options struct {
+	// Jobs is the worker count; <= 0 means GOMAXPROCS.
+	Jobs int
+	// Only selects experiments by name (nil / empty = all). After
+	// dependencies of a selected experiment are selected transitively.
+	Only []string
+}
+
+// node is one scheduled experiment.
+type node struct {
+	exp        *Experiment
+	job        *Job
+	res        *ExptResult
+	pending    int // unfinished dependencies
+	dependents []*node
+	failedDep  string
+}
+
+// Run executes the selected experiments over a pool of Options.Jobs
+// workers and returns the report (per-experiment failures are in it —
+// use Report.Err).
+//
+// A Suite runs once: experiments mutate their shared devices, so a
+// second Run would measure state the first one left behind and lose
+// the bit-identical-for-any-jobs guarantee. Build a fresh Suite per
+// run instead.
+func (s *Suite) Run(opt Options) (*Report, error) {
+	if s.ran {
+		return nil, fmt.Errorf("suite: already ran; build a fresh Suite per run")
+	}
+	s.ran = true
+	nodes, err := s.plan(opt.Only)
+	if err != nil {
+		return nil, err
+	}
+	jobs := opt.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(nodes) && len(nodes) > 0 {
+		jobs = len(nodes)
+	}
+
+	ready := make(chan *node, len(nodes))
+	var mu sync.Mutex
+	remaining := len(nodes)
+	for _, n := range nodes {
+		if n.pending == 0 {
+			ready <- n
+		}
+	}
+	if remaining == 0 {
+		close(ready)
+	}
+
+	finish := func(n *node, failed string) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, d := range n.dependents {
+			// Blame the earliest-registered failed dependency so the
+			// skip message (and with it the JSON report) does not
+			// depend on completion order.
+			if failed != "" && (d.failedDep == "" || s.idx[failed] < s.idx[d.failedDep]) {
+				d.failedDep = failed
+			}
+			d.pending--
+			if d.pending == 0 {
+				ready <- d
+			}
+		}
+		remaining--
+		if remaining == 0 {
+			close(ready)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range ready {
+				s.runNode(n)
+				failed := ""
+				if n.res.Err != nil {
+					// A skipped node passes on the root cause, not its
+					// own name, so deep chains blame the experiment
+					// that actually failed.
+					if n.failedDep != "" {
+						failed = n.failedDep
+					} else {
+						failed = n.exp.Name
+					}
+				}
+				finish(n, failed)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := &Report{Seed: s.seed}
+	for _, n := range nodes {
+		rep.Results = append(rep.Results, n.res)
+	}
+	return rep, nil
+}
+
+// runNode executes one experiment, catching per-experiment failure —
+// including a panicking Run, which must not take down the pool and
+// lose every other experiment's output.
+func (s *Suite) runNode(n *node) {
+	n.res = &ExptResult{Name: n.exp.Name, Title: n.exp.Title}
+	if n.failedDep != "" {
+		n.res.Err = fmt.Errorf("skipped: dependency %s failed", n.failedDep)
+		return
+	}
+	j := n.job
+	if dev := n.exp.Needs.Device; dev != "" {
+		env, err := s.env(dev)
+		if err != nil {
+			n.res.Err = err
+			return
+		}
+		// Warm to the deepest level any selected experiment on this
+		// device declared (set during planning), so the device's probe
+		// history is fixed before the first measurement.
+		if err := env.Warm(n.exp.Needs.Probe); err != nil {
+			n.res.Err = err
+			return
+		}
+		j.env = env
+	}
+	if err := runProtected(n.exp.Run, j); err != nil {
+		n.res.Err = err
+		return
+	}
+	n.res.Text = j.buf.String()
+	n.res.Tables = j.tables
+	if j.result != nil {
+		s.mu.Lock()
+		s.results[n.exp.Name] = j.result
+		s.mu.Unlock()
+	}
+}
+
+// runProtected invokes an experiment's Run, converting a panic into an
+// error.
+func runProtected(run func(*Job) error, j *Job) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return run(j)
+}
+
+// plan selects experiments, expands After closures, and builds the
+// dependency graph: explicit After edges plus an implicit serial chain
+// through each shared device in registration order. Probe levels per
+// device are raised to the selection's maximum so warming is
+// selection-order independent.
+func (s *Suite) plan(only []string) ([]*node, error) {
+	selected := make(map[string]bool)
+	if len(only) == 0 {
+		for _, e := range s.exps {
+			selected[e.Name] = true
+		}
+	} else {
+		var mark func(name string) error
+		mark = func(name string) error {
+			i, ok := s.idx[name]
+			if !ok {
+				return fmt.Errorf("suite: unknown experiment %q (have: %s)",
+					name, strings.Join(s.Names(), ", "))
+			}
+			if selected[name] {
+				return nil
+			}
+			selected[name] = true
+			for _, dep := range s.exps[i].Needs.After {
+				if err := mark(dep); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, name := range only {
+			if err := mark(name); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Deepest probe level per device across the selection.
+	maxProbe := make(map[string]ProbeLevel)
+	for _, e := range s.exps {
+		if !selected[e.Name] || e.Needs.Device == "" {
+			continue
+		}
+		if e.Needs.Probe > maxProbe[e.Needs.Device] {
+			maxProbe[e.Needs.Device] = e.Needs.Probe
+		}
+	}
+
+	var nodes []*node
+	byName := make(map[string]*node)
+	lastOnDevice := make(map[string]*node)
+	for _, e := range s.exps {
+		if !selected[e.Name] {
+			continue
+		}
+		exp := *e
+		if exp.Needs.Device != "" {
+			exp.Needs.Probe = maxProbe[exp.Needs.Device]
+		}
+		visible := make(map[string]bool, len(e.Needs.After))
+		for _, dep := range e.Needs.After {
+			visible[dep] = true
+		}
+		n := &node{
+			exp: &exp,
+			job: &Job{name: e.Name, seed: rng.Split(s.seed, "expt:"+e.Name), suite: s, deps: visible},
+		}
+		deps := make(map[*node]bool)
+		for _, dep := range e.Needs.After {
+			deps[byName[dep]] = true
+		}
+		if e.Needs.Device != "" {
+			if prev := lastOnDevice[e.Needs.Device]; prev != nil {
+				deps[prev] = true
+			}
+			lastOnDevice[e.Needs.Device] = n
+		}
+		for d := range deps {
+			d.dependents = append(d.dependents, n)
+			n.pending++
+		}
+		byName[e.Name] = n
+		nodes = append(nodes, n)
+	}
+	// Deterministic dependent ordering (map iteration above).
+	for _, n := range nodes {
+		sort.Slice(n.dependents, func(i, j int) bool {
+			return s.idx[n.dependents[i].exp.Name] < s.idx[n.dependents[j].exp.Name]
+		})
+	}
+	return nodes, nil
+}

@@ -30,6 +30,31 @@ func Hash(words ...uint64) uint64 {
 	return splitmix64(h)
 }
 
+// Split derives an independent child seed from a base seed and a
+// label. Experiment harnesses use it to hand every experiment (and
+// every device) its own stream: the children of one base seed are
+// decorrelated from each other and from the base, so concurrent
+// experiments never share generator state and a run's results do not
+// depend on execution order.
+func Split(seed uint64, label string) uint64 {
+	words := make([]uint64, 0, (len(label)+7)/8+2)
+	words = append(words, seed, uint64(len(label)))
+	var w uint64
+	var n uint
+	for i := 0; i < len(label); i++ {
+		w |= uint64(label[i]) << (8 * n)
+		n++
+		if n == 8 {
+			words = append(words, w)
+			w, n = 0, 0
+		}
+	}
+	if n > 0 {
+		words = append(words, w)
+	}
+	return Hash(words...)
+}
+
 // Uniform returns a deterministic draw in the half-open interval
 // (0, 1], derived from the given words. The interval excludes zero so
 // the draw can be used directly as a Pareto-style threshold scale

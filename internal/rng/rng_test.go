@@ -29,6 +29,40 @@ func TestHashOrderSensitive(t *testing.T) {
 	}
 }
 
+func TestSplitDeterministicAndLabelSensitive(t *testing.T) {
+	if Split(7, "expt:fig10") != Split(7, "expt:fig10") {
+		t.Fatal("Split is not deterministic")
+	}
+	seen := map[uint64]string{}
+	for _, label := range []string{
+		"", "a", "b", "ab", "ba", "expt:fig10", "expt:fig12",
+		"env:MfrA-DDR4-x4-2021", "a-very-long-label-spanning-multiple-words",
+	} {
+		h := Split(7, label)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Split collision: %q and %q", prev, label)
+		}
+		seen[h] = label
+		if h == Split(8, label) {
+			t.Fatalf("Split(%q) ignores the seed", label)
+		}
+		if h == 7 {
+			t.Fatalf("Split(%q) returned the base seed", label)
+		}
+	}
+}
+
+func TestSplitNoLengthExtensionAliasing(t *testing.T) {
+	// Labels that agree on a prefix but differ in length must not
+	// collide via zero-padding of the final partial word.
+	if Split(1, "abc") == Split(1, "abc\x00") {
+		t.Fatal("trailing NUL aliases")
+	}
+	if Split(1, "12345678") == Split(1, "123456780") {
+		t.Fatal("word-boundary aliasing")
+	}
+}
+
 func TestUniformRange(t *testing.T) {
 	for i := uint64(0); i < 100000; i++ {
 		u := Uniform(i, 42)

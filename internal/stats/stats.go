@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -159,6 +160,25 @@ func (t *Table) String() string {
 		writeRow(r)
 	}
 	return sb.String()
+}
+
+// MarshalJSON renders the table as {"header": [...], "rows": [[...]]}
+// — the machine-readable shape the suite's JSON report embeds. Cells
+// are the already-formatted strings, so JSON and text output can never
+// disagree on a value.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	header := t.header
+	if header == nil {
+		header = []string{}
+	}
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{header, rows})
 }
 
 // CSV renders the table as comma-separated values.

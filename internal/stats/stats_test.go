@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -100,5 +101,41 @@ func TestTableCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(csv, "a,b\n") {
 		t.Fatalf("CSV header broken: %q", csv)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.Row(1, 2.5)
+	tbl.Row("x,y", `q"z`)
+	data, err := json.Marshal(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Header) != 2 || got.Header[0] != "a" {
+		t.Fatalf("header = %v", got.Header)
+	}
+	if len(got.Rows) != 2 || got.Rows[0][0] != "1" || got.Rows[0][1] != "2.5" {
+		t.Fatalf("rows = %v", got.Rows)
+	}
+	if got.Rows[1][0] != "x,y" || got.Rows[1][1] != `q"z` {
+		t.Fatalf("special characters mangled: %v", got.Rows)
+	}
+}
+
+func TestTableJSONEmpty(t *testing.T) {
+	data, err := json.Marshal(NewTable("only", "headers"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"rows":[]`) {
+		t.Fatalf("empty table must render rows as [], got %s", data)
 	}
 }
