@@ -5,14 +5,16 @@
 #   make short   - fast unit tests only (skips catalog-scale probes)
 #   make bench   - regenerate every paper artifact as benchmarks
 #   make suite   - run the concurrent experiment suite (all artifacts)
+#   make golden  - regenerate the golden-report fixture after an
+#                  intentional output change (review the diff!)
 #
 # SUITE_FLAGS passes through to cmd/experiments, e.g.
-#   make suite SUITE_FLAGS='-run fig12,fig14 -jobs 8 -json out.json'
+#   make suite SUITE_FLAGS='-run fig12,fig14 -jobs 8 -shards 32 -json out.json'
 
 GO ?= go
 SUITE_FLAGS ?= -run all
 
-.PHONY: build test race short bench suite vet
+.PHONY: build test race short bench suite vet golden
 
 build:
 	$(GO) build ./...
@@ -34,3 +36,8 @@ bench:
 
 suite:
 	$(GO) run ./cmd/experiments $(SUITE_FLAGS)
+
+# The fixture is the full default-profile/default-seed suite report;
+# TestGoldenSuiteReport fails on any byte drift from it.
+golden:
+	$(GO) run ./cmd/experiments -run all -json internal/expt/testdata/suite_report.json > /dev/null

@@ -18,24 +18,26 @@ import (
 )
 
 // BenchmarkSuite regenerates every artifact through the Suite runner.
-// Sub-benchmarks sweep the worker count so `go test -bench Suite`
-// shows the parallel speedup directly; the rendered output is
-// byte-identical across them (the suite's determinism guarantee),
-// which the benchmark also asserts.
+// Sub-benchmarks sweep the worker and shard counts so `go test -bench
+// Suite` shows the parallel speedup directly — the shard dimension is
+// what lets the Fig. 16 sweep and the per-bank survey scale past the
+// device count. The rendered output is byte-identical across every
+// combination (the suite's determinism guarantee), which the benchmark
+// also asserts.
 func BenchmarkSuite(b *testing.B) {
 	var ref string
-	sweep := []int{1, 2, 4}
+	sweep := []struct{ jobs, shards int }{{1, 1}, {2, 8}, {4, 16}}
 	if n := runtime.GOMAXPROCS(0); n != 1 && n != 2 && n != 4 {
-		sweep = append(sweep, n)
+		sweep = append(sweep, struct{ jobs, shards int }{n, 4 * n})
 	}
-	for _, jobs := range sweep {
-		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+	for _, cfg := range sweep {
+		b.Run(fmt.Sprintf("jobs=%d/shards=%d", cfg.jobs, cfg.shards), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				s, err := expt.DefaultSuite("MfrA-DDR4-x4-2021", 7)
+				s, err := expt.DefaultSuite(expt.DefaultFigProfile, expt.DefaultSeed)
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := s.Run(expt.Options{Jobs: jobs})
+				rep, err := s.Run(expt.Options{Jobs: cfg.jobs, Shards: cfg.shards})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -49,7 +51,7 @@ func BenchmarkSuite(b *testing.B) {
 				if ref == "" {
 					ref = text
 				} else if text != ref {
-					b.Fatal("suite output differs across runs/worker counts")
+					b.Fatal("suite output differs across runs/worker/shard counts")
 				}
 			}
 		})

@@ -23,21 +23,22 @@ import (
 
 func main() {
 	runList := flag.String("run", "all", "comma-separated experiment ids (see -list)")
-	profile := flag.String("profile", "MfrA-DDR4-x4-2021", "device profile for the figure experiments")
-	seed := flag.Uint64("seed", 7, "suite base seed (per-experiment seeds are split from it)")
+	profile := flag.String("profile", expt.DefaultFigProfile, "device profile for the figure experiments")
+	seed := flag.Uint64("seed", expt.DefaultSeed, "suite base seed (per-experiment seeds are split from it)")
 	jobs := flag.Int("jobs", 0, "worker count (0 = GOMAXPROCS); results are identical for any value")
+	shards := flag.Int("shards", 0, "shard cap per partitioned experiment (0 = worker count); results are identical for any value")
 	jsonPath := flag.String("json", "", "file for the machine-readable JSON report (optional)")
 	csvDir := flag.String("csv", "", "directory for CSV result files (optional)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
-	if err := run(*runList, *profile, *seed, *jobs, *jsonPath, *csvDir, *list); err != nil {
+	if err := run(*runList, *profile, *seed, *jobs, *shards, *jsonPath, *csvDir, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runList, profile string, seed uint64, jobs int, jsonPath, csvDir string, list bool) error {
+func run(runList, profile string, seed uint64, jobs, shards int, jsonPath, csvDir string, list bool) error {
 	suite, err := expt.DefaultSuite(profile, seed)
 	if err != nil {
 		return err
@@ -68,7 +69,7 @@ func run(runList, profile string, seed uint64, jobs int, jsonPath, csvDir string
 		return fmt.Errorf("empty -run selection (use -list for experiment ids)")
 	}
 
-	rep, err := suite.Run(expt.Options{Jobs: jobs, Only: only})
+	rep, err := suite.Run(expt.Options{Jobs: jobs, Shards: shards, Only: only})
 	if err != nil {
 		return err
 	}

@@ -53,31 +53,38 @@ type SweepResult struct {
 	WorstRelative float64
 }
 
-// SweepPatterns runs the Figure 16 experiment: for every 4-cell
-// victim/aggressor pattern pair, hammer both physical neighbors of
-// each victim row and measure the victim's BER.
-func SweepPatterns(a *AIB, victimPhys []int, acts int) (*SweepResult, error) {
+// SweepUnit measures one victim/aggressor combination of the Figure 16
+// sweep: hammer both physical neighbors of each victim row with the
+// 4-cell physical patterns (v, ag) and return the victims' raw BER.
+// One combination is the sweep's independent unit of work — its result
+// depends only on the device's (profile, seed) state at call time, so
+// a harness runs each combination on its own pristine device (see
+// expt.Fig16), partitions the 256 combinations freely, and merges with
+// MergeSweep.
+func SweepUnit(a *AIB, victimPhys []int, acts int, v, ag uint8) (stats.BER, error) {
 	if a.Map == nil {
-		return nil, fmt.Errorf("core: pattern sweep needs a recovered swizzle map")
+		return stats.BER{}, fmt.Errorf("core: pattern sweep needs a recovered swizzle map")
 	}
 	width := a.H.DataWidth()
-	var rates [16][16]stats.BER
-	for v := 0; v < 16; v++ {
-		for ag := 0; ag < 16; ag++ {
-			res, err := a.Measure(Run{
-				Mode:       ModeHammer,
-				Acts:       acts,
-				VictimPhys: victimPhys,
-				Both:       true,
-				VictimData: PhysPattern(a.Map, width, uint8(v)),
-				AggrData:   PhysPattern(a.Map, width, uint8(ag)),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("core: sweep (%#x,%#x): %w", v, ag, err)
-			}
-			rates[v][ag] = res.Total
-		}
+	res, err := a.Measure(Run{
+		Mode:       ModeHammer,
+		Acts:       acts,
+		VictimPhys: victimPhys,
+		Both:       true,
+		VictimData: PhysPattern(a.Map, width, v),
+		AggrData:   PhysPattern(a.Map, width, ag),
+	})
+	if err != nil {
+		return stats.BER{}, fmt.Errorf("core: sweep (%#x,%#x): %w", v, ag, err)
 	}
+	return res.Total, nil
+}
+
+// MergeSweep folds the 256 per-combination rates into a SweepResult:
+// normalization to the (0xF victim, 0x0 aggressor) baseline and the
+// worst-case search. It is a pure function of the rates, so the result
+// is independent of how and in what order they were measured.
+func MergeSweep(rates *[16][16]stats.BER) (*SweepResult, error) {
 	base := rates[0xF][0x0]
 	if base.Rate() == 0 {
 		return nil, fmt.Errorf("core: baseline pattern produced no flips; raise the activation budget")
@@ -95,6 +102,7 @@ func SweepPatterns(a *AIB, victimPhys []int, acts int) (*SweepResult, error) {
 	}
 	return out, nil
 }
+
 
 // PatternClass names the physical arrangement a written pattern
 // produces along a wordline (Figure 8's misplacement analysis).

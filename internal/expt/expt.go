@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dramscope/internal/chip"
 	"dramscope/internal/core"
@@ -24,13 +25,30 @@ import (
 // device sees each probe's command sequence exactly once.
 type probeCell[T any] struct {
 	once sync.Once
+	done atomic.Bool
 	val  T
 	err  error
 }
 
 func (p *probeCell[T]) get(f func() (T, error)) (T, error) {
-	p.once.Do(func() { p.val, p.err = f() })
+	p.once.Do(func() {
+		p.val, p.err = f()
+		p.done.Store(true)
+	})
 	return p.val, p.err
+}
+
+// copyFrom primes this cell with another cell's completed result, if
+// any. The done flag is a release/acquire pair with get's Store, so a
+// concurrent cloner sees a fully written (val, err).
+func (p *probeCell[T]) copyFrom(src *probeCell[T]) {
+	if !src.done.Load() {
+		return
+	}
+	p.once.Do(func() {
+		p.val, p.err = src.val, src.err
+		p.done.Store(true)
+	})
 }
 
 // Env is one device under test plus its (lazily) recovered mapping.
@@ -48,6 +66,8 @@ type Env struct {
 	Host *host.Host
 	Bank int
 
+	seed uint64
+
 	order probeCell[*core.RowOrder]
 	sub   probeCell[*core.SubarrayLayout]
 	cells probeCell[*core.CellPolarity]
@@ -60,7 +80,35 @@ func NewEnv(prof topo.Profile, seed uint64) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Env{Prof: prof, Chip: c, Host: host.New(c)}, nil
+	return &Env{Prof: prof, Chip: c, Host: host.New(c), seed: seed}, nil
+}
+
+// Seed returns the device seed the Env was built with.
+func (e *Env) Seed() uint64 { return e.seed }
+
+// Clone builds a pristine twin of this Env: a freshly powered-on
+// device with the same profile and fault seed (so it is bit-identical
+// to the one this Env started from), whose probe cache is primed with
+// every probe result this Env has already computed — a read-only view
+// of the warmed probe chain.
+//
+// Clones are how shard units measure concurrently without sharing
+// device state: each unit measures on its own clone, so its result
+// depends only on (profile, seed, unit), never on what other units —
+// or experiments on the parent Env — did first. Cloning is safe from
+// multiple goroutines; the parent's cached probe results are shared by
+// pointer and must be treated as immutable.
+func (e *Env) Clone() (*Env, error) {
+	ne, err := NewEnv(e.Prof, e.seed)
+	if err != nil {
+		return nil, err
+	}
+	ne.Bank = e.Bank
+	ne.order.copyFrom(&e.order)
+	ne.sub.copyFrom(&e.sub)
+	ne.cells.copyFrom(&e.cells)
+	ne.swz.copyFrom(&e.swz)
+	return ne, nil
 }
 
 // Order runs (and caches) the row-order probe.

@@ -441,17 +441,81 @@ func RenderFig15(r *Fig15Result) *stats.Table {
 	return t
 }
 
-// Fig16 runs the 256-combination adversarial pattern sweep (O13/O14).
+// fig16Combos is the Figure 16 sweep size: all 16x16 combinations of
+// repeating 4-cell victim and aggressor patterns. Unit index u encodes
+// the combination (victim u/16, aggressor u%16).
+const fig16Combos = 256
+
+// fig16Unit measures one victim/aggressor combination on a pristine
+// clone of the (warmed) env. Running every combination on its own
+// clone makes the combinations fully independent: the sweep result
+// cannot depend on the order they run in, on how they are grouped into
+// shards, or on what other experiments did to the parent device.
+func fig16Unit(e *Env, rows, unit int) (stats.BER, error) {
+	c, err := e.Clone()
+	if err != nil {
+		return stats.BER{}, err
+	}
+	a, err := c.AIB()
+	if err != nil {
+		return stats.BER{}, err
+	}
+	victims, err := c.interiorVictims(rows)
+	if err != nil {
+		return stats.BER{}, err
+	}
+	return core.SweepUnit(a, victims, hammerActs, uint8(unit/16), uint8(unit%16))
+}
+
+// Fig16 runs the 256-combination adversarial pattern sweep (O13/O14)
+// serially: each combination on its own pristine clone of e, merged
+// with core.MergeSweep — the same numbers the sharded suite path
+// produces for any shard count. e's probe chain is warmed as a side
+// effect; its device state is otherwise left untouched.
 func Fig16(e *Env, rows int) (*core.SweepResult, error) {
-	a, err := e.AIB()
-	if err != nil {
+	// Warm the parent once so the clones' probe caches are primed;
+	// otherwise every clone would re-run the whole probe chain.
+	if _, err := e.Swizzle(); err != nil {
 		return nil, err
 	}
-	victims, err := e.interiorVictims(rows)
-	if err != nil {
-		return nil, err
+	var rates [16][16]stats.BER
+	for u := 0; u < fig16Combos; u++ {
+		r, err := fig16Unit(e, rows, u)
+		if err != nil {
+			return nil, err
+		}
+		rates[u/16][u%16] = r
 	}
-	return core.SweepPatterns(a, victims, hammerActs)
+	return core.MergeSweep(&rates)
+}
+
+// Fig16Part is the partitioned form of the sweep for the Suite
+// scheduler: one unit per victim/aggressor combination, merged into
+// the rendered Figure 16 table (and a SweepResult stored for
+// dependents). See fig16Unit for why units clone.
+func Fig16Part(rows int) *Partition {
+	return &Partition{
+		Units: fig16Combos,
+		Unit: func(sj *ShardJob) (interface{}, error) {
+			if sj.Env() == nil {
+				return nil, fmt.Errorf("expt: fig16 needs a device Env")
+			}
+			return fig16Unit(sj.Env(), rows, sj.Unit())
+		},
+		Merge: func(j *Job, units []interface{}) error {
+			var rates [16][16]stats.BER
+			for i, u := range units {
+				rates[i/16][i%16] = u.(stats.BER)
+			}
+			r, err := core.MergeSweep(&rates)
+			if err != nil {
+				return err
+			}
+			j.SetResult(r)
+			j.Emit("fig16", RenderFig16(r))
+			return nil
+		},
+	}
 }
 
 // RenderFig16 renders the sweep's extremes.

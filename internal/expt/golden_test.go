@@ -1,0 +1,65 @@
+package expt
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestGoldenSuiteReport locks the full suite report to a committed
+// fixture: the JSON report of every experiment at the default profile
+// and seed must not change by a byte. Any refactor of the scheduler,
+// the shard layer, the probes, or the fault model that moves a number
+// fails here with a diff — regenerate deliberately with `make golden`
+// and review the fixture change like code.
+func TestGoldenSuiteReport(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full-suite run (~2 min)")
+	}
+	if raceEnabled {
+		t.Skip("full suite under -race exceeds the CI budget; the cross-shard race job covers concurrency")
+	}
+	want, err := os.ReadFile("testdata/suite_report.json")
+	if err != nil {
+		t.Fatalf("missing fixture (run `make golden`): %v", err)
+	}
+	s, err := DefaultSuite(DefaultFigProfile, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Locate the first differing line so the failure is actionable
+	// without a 20 KB dump.
+	gotLines := strings.Split(string(got), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("suite report diverges from testdata/suite_report.json at line %d:\n  fixture: %s\n  got:     %s\n"+
+				"If this change is intentional, regenerate with `make golden` and commit the fixture.",
+				i+1, w, g)
+		}
+	}
+	t.Fatal("suite report differs from fixture (length mismatch); regenerate with `make golden`")
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package expt
+
+// raceEnabled lets heavyweight fixture tests skip under the race
+// detector, where they would blow CI's time budget; the dedicated
+// cross-shard race job covers the concurrency surface instead.
+const raceEnabled = true

@@ -6,6 +6,14 @@ import (
 	"dramscope/internal/topo"
 )
 
+// Default suite parameters, shared by cmd/experiments' flag defaults
+// and the golden-report regression fixture: the committed fixture is
+// the full suite report at exactly (DefaultFigProfile, DefaultSeed).
+const (
+	DefaultFigProfile = "MfrA-DDR4-x4-2021"
+	DefaultSeed       = 7
+)
+
 // DefaultSuite registers every paper artifact: Table I, Table III
 // (one recovery experiment per representative device plus a render
 // step), Figures 5/7/8/10/12/14/15/16, and the §VI defense and
@@ -20,7 +28,8 @@ import (
 // themselves; fig5 and defense build their own modules/devices and
 // float freely.
 func DefaultSuite(figProfile string, seed uint64) (*Suite, error) {
-	if _, ok := topo.ByName(figProfile); !ok {
+	figProf, ok := topo.ByName(figProfile)
+	if !ok {
 		return nil, fmt.Errorf("expt: unknown profile %q", figProfile)
 	}
 	s := NewSuite(seed)
@@ -158,13 +167,14 @@ func DefaultSuite(figProfile string, seed uint64) (*Suite, error) {
 		j.Emit("fig15", RenderFig15(r))
 		return nil
 	})
-	fig("fig16", "Figures 16-17: adversarial pattern sweep (O14)", func(j *Job) error {
-		r, err := Fig16(j.Env(), 8)
-		if err != nil {
-			return err
-		}
-		j.Emit("fig16", RenderFig16(r))
-		return nil
+	// Fig. 16 is partitioned: its 256 pattern combinations are
+	// independent units the scheduler fans out across the pool, each
+	// measuring on a pristine clone of the figure device.
+	reg(Experiment{
+		Name:  "fig16",
+		Title: "Figures 16-17: adversarial pattern sweep (O14)",
+		Needs: Needs{Device: figProfile, Probe: ProbeSwizzle},
+		Part:  Fig16Part(8),
 	})
 
 	reg(Experiment{
@@ -192,6 +202,15 @@ func DefaultSuite(figProfile string, seed uint64) (*Suite, error) {
 			j.Emit("scrambler", r.Render())
 			return nil
 		},
+	})
+
+	// Per-bank structure survey, partitioned by bank: each bank is
+	// probed on its own pristine clone of the figure device.
+	reg(Experiment{
+		Name:  "banks",
+		Title: "Per-bank structure: subarray composition and coupled rows",
+		Needs: Needs{Device: figProfile, Probe: ProbeNone},
+		Part:  BankSurveyPart(figProf.Banks),
 	})
 
 	return s, nil

@@ -15,6 +15,10 @@
 //     depend on scheduling;
 //   - experiments on different devices touch disjoint state and may
 //     interleave freely;
+//   - partitioned experiments (Partition) shard below the device
+//     level: every unit is independently seeded (rng.SplitN by unit
+//     index) and measures on its own pristine device clone, so the
+//     merged result is also independent of the shard count;
 //   - output is assembled in registration order, not completion order.
 package expt
 
@@ -108,7 +112,10 @@ func (j *Job) Result(name string) (interface{}, bool) {
 	return v, ok
 }
 
-// Experiment is one named, self-describing paper artifact.
+// Experiment is one named, self-describing paper artifact. Exactly one
+// of Run and Part must be set: Run for a monolithic experiment, Part
+// for one partitioned into independent units the scheduler fans out
+// across the worker pool (see Partition).
 type Experiment struct {
 	// Name is the stable identifier used by -run selection, seed
 	// splitting, and After edges.
@@ -117,6 +124,7 @@ type Experiment struct {
 	Title string
 	Needs Needs
 	Run   func(*Job) error
+	Part  *Partition
 }
 
 // RenderedTable pairs a table with its artifact id.
@@ -249,8 +257,16 @@ func (s *Suite) Register(e Experiment) error {
 	if e.Name == "" {
 		return fmt.Errorf("suite: experiment needs a name")
 	}
-	if e.Run == nil {
-		return fmt.Errorf("suite: experiment %s needs a Run func", e.Name)
+	if e.Run == nil && e.Part == nil {
+		return fmt.Errorf("suite: experiment %s needs a Run func or a Partition", e.Name)
+	}
+	if e.Run != nil && e.Part != nil {
+		return fmt.Errorf("suite: experiment %s declares both Run and a Partition", e.Name)
+	}
+	if e.Part != nil {
+		if err := e.Part.validate(e.Name); err != nil {
+			return err
+		}
 	}
 	if _, dup := s.idx[e.Name]; dup {
 		return fmt.Errorf("suite: duplicate experiment %s", e.Name)
@@ -302,12 +318,32 @@ func (s *Suite) env(device string) (*Env, error) {
 type Options struct {
 	// Jobs is the worker count; <= 0 means GOMAXPROCS.
 	Jobs int
+	// Shards caps how many scheduler nodes a partitioned experiment's
+	// units are batched onto; <= 0 means the worker count. Results are
+	// identical for any value (see Partition); Shards only trades
+	// scheduling overhead against fan-out granularity.
+	Shards int
 	// Only selects experiments by name (nil / empty = all). After
 	// dependencies of a selected experiment are selected transitively.
 	Only []string
 }
 
-// node is one scheduled experiment.
+// unitOut is one unit's outcome in a partitioned experiment. Shard
+// nodes write disjoint index ranges; the merge node reads all of them
+// after every shard finished (the scheduler's completion edges provide
+// the happens-before).
+type unitOut struct {
+	val interface{}
+	err error
+}
+
+// partState is the shared state of one partitioned experiment's nodes.
+type partState struct {
+	outs []unitOut
+}
+
+// node is one scheduled step: an experiment, or a hidden shard of a
+// partitioned experiment.
 type node struct {
 	exp        *Experiment
 	job        *Job
@@ -315,6 +351,20 @@ type node struct {
 	pending    int // unfinished dependencies
 	dependents []*node
 	failedDep  string
+
+	// hidden marks shard nodes: scheduled like any node but absent
+	// from the report (their experiment's visible node reports).
+	hidden bool
+	// part is set on a partitioned experiment's visible (merge) node.
+	part *partState
+	// shard is set on hidden shard nodes: the unit range to execute.
+	shard *shardRange
+}
+
+// shardRange is one shard node's slice of a partition.
+type shardRange struct {
+	state  *partState
+	lo, hi int // units [lo, hi)
 }
 
 // Run executes the selected experiments over a pool of Options.Jobs
@@ -330,13 +380,17 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 		return nil, fmt.Errorf("suite: already ran; build a fresh Suite per run")
 	}
 	s.ran = true
-	nodes, err := s.plan(opt.Only)
-	if err != nil {
-		return nil, err
-	}
 	jobs := opt.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = jobs
+	}
+	nodes, err := s.plan(opt.Only, shards)
+	if err != nil {
+		return nil, err
 	}
 	if jobs > len(nodes) && len(nodes) > 0 {
 		jobs = len(nodes)
@@ -401,14 +455,17 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 
 	rep := &Report{Seed: s.seed}
 	for _, n := range nodes {
+		if n.hidden {
+			continue
+		}
 		rep.Results = append(rep.Results, n.res)
 	}
 	return rep, nil
 }
 
-// runNode executes one experiment, catching per-experiment failure —
-// including a panicking Run, which must not take down the pool and
-// lose every other experiment's output.
+// runNode executes one scheduled step, catching per-step failure —
+// including a panicking Run or Unit, which must not take down the pool
+// and lose every other experiment's output.
 func (s *Suite) runNode(n *node) {
 	n.res = &ExptResult{Name: n.exp.Name, Title: n.exp.Title}
 	if n.failedDep != "" {
@@ -416,23 +473,55 @@ func (s *Suite) runNode(n *node) {
 		return
 	}
 	j := n.job
+	var env *Env
 	if dev := n.exp.Needs.Device; dev != "" {
-		env, err := s.env(dev)
+		var err error
+		env, err = s.env(dev)
+		if err == nil {
+			// Warm to the deepest level any selected experiment on
+			// this device declared (set during planning), so the
+			// device's probe history is fixed before the first
+			// measurement.
+			err = env.Warm(n.exp.Needs.Probe)
+		}
 		if err != nil {
+			if n.shard != nil {
+				// A shard node must not fail as a node: its name would
+				// become the blame target and hide the root cause
+				// (hidden nodes are absent from the report). Record
+				// the error on its units instead; the visible node
+				// re-attempts env/warm itself and reports the same
+				// error verbatim (both paths are deterministic — the
+				// probe error is cached, the env error recomputed).
+				for i := n.shard.lo; i < n.shard.hi; i++ {
+					n.shard.state.outs[i] = unitOut{err: err}
+				}
+				return
+			}
 			n.res.Err = err
 			return
 		}
-		// Warm to the deepest level any selected experiment on this
-		// device declared (set during planning), so the device's probe
-		// history is fixed before the first measurement.
-		if err := env.Warm(n.exp.Needs.Probe); err != nil {
-			n.res.Err = err
-			return
+		if j != nil {
+			j.env = env
 		}
-		j.env = env
 	}
-	if err := runProtected(n.exp.Run, j); err != nil {
-		n.res.Err = err
+	switch {
+	case n.shard != nil:
+		// Hidden shard node: run its unit range. Unit failures are
+		// recorded per unit — not as node failures — so every other
+		// shard still runs and the visible node can surface the
+		// lowest-index failure deterministically.
+		s.runShard(n, env)
+	case n.exp.Part != nil:
+		// Visible node of a partitioned experiment: merge.
+		s.runMerge(n)
+	default:
+		if err := runProtected(n.exp.Run, j); err != nil {
+			n.res.Err = err
+			return
+		}
+	}
+	if n.res.Err != nil || j == nil {
 		return
 	}
 	n.res.Text = j.buf.String()
@@ -441,6 +530,46 @@ func (s *Suite) runNode(n *node) {
 		s.mu.Lock()
 		s.results[n.exp.Name] = j.result
 		s.mu.Unlock()
+	}
+}
+
+// runShard executes units [lo, hi) of a partitioned experiment. Each
+// unit gets its own seed (split by unit index, not shard index) and
+// writes to its own slot of the shared output slice, so the recorded
+// outcomes are independent of how units were grouped into shards.
+func (s *Suite) runShard(n *node, env *Env) {
+	sr := n.shard
+	base := rng.Split(s.seed, "expt:"+n.exp.Name)
+	for i := sr.lo; i < sr.hi; i++ {
+		sj := &ShardJob{
+			name: n.exp.Name,
+			unit: i,
+			of:   n.exp.Part.Units,
+			seed: rng.SplitN(base, "unit", i),
+			env:  env,
+		}
+		val, err := runUnitProtected(n.exp.Part.Unit, sj)
+		sr.state.outs[i] = unitOut{val: val, err: err}
+	}
+}
+
+// runMerge runs a partitioned experiment's visible step: surface the
+// lowest-index unit failure (deterministic for any jobs/shards), or
+// hand the unit results to Merge in unit order.
+func (s *Suite) runMerge(n *node) {
+	outs := n.part.outs
+	for i := range outs {
+		if outs[i].err != nil {
+			n.res.Err = fmt.Errorf("unit %d/%d: %v", i, len(outs), outs[i].err)
+			return
+		}
+	}
+	vals := make([]interface{}, len(outs))
+	for i := range outs {
+		vals[i] = outs[i].val
+	}
+	if err := runProtected(func(j *Job) error { return n.exp.Part.Merge(j, vals) }, n.job); err != nil {
+		n.res.Err = err
 	}
 }
 
@@ -455,12 +584,30 @@ func runProtected(run func(*Job) error, j *Job) (err error) {
 	return run(j)
 }
 
+// runUnitProtected invokes one unit, converting a panic into an error.
+func runUnitProtected(unit func(*ShardJob) (interface{}, error), sj *ShardJob) (val interface{}, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return unit(sj)
+}
+
 // plan selects experiments, expands After closures, and builds the
 // dependency graph: explicit After edges plus an implicit serial chain
 // through each shared device in registration order. Probe levels per
 // device are raised to the selection's maximum so warming is
 // selection-order independent.
-func (s *Suite) plan(only []string) ([]*node, error) {
+//
+// Partitioned experiments are compiled into the same graph: their
+// units are batched onto up to `shards` hidden shard nodes that inherit
+// the experiment's dependencies (so they fan out in parallel once the
+// device chain reaches the experiment), and the experiment's visible
+// node depends on all of them and runs Merge. The chain successor
+// hangs off the visible node, so on a shared device the partition
+// occupies one chain slot exactly like a monolithic experiment.
+func (s *Suite) plan(only []string, shards int) ([]*node, error) {
 	selected := make(map[string]bool)
 	if len(only) == 0 {
 		for _, e := range s.exps {
@@ -504,6 +651,17 @@ func (s *Suite) plan(only []string) ([]*node, error) {
 	}
 
 	var nodes []*node
+	serial := make(map[*node]int) // creation order, for stable sorting
+	add := func(n *node) {
+		serial[n] = len(nodes)
+		nodes = append(nodes, n)
+	}
+	link := func(n *node, deps map[*node]bool) {
+		for d := range deps {
+			d.dependents = append(d.dependents, n)
+			n.pending++
+		}
+	}
 	byName := make(map[string]*node)
 	lastOnDevice := make(map[string]*node)
 	for _, e := range s.exps {
@@ -530,19 +688,54 @@ func (s *Suite) plan(only []string) ([]*node, error) {
 			if prev := lastOnDevice[e.Needs.Device]; prev != nil {
 				deps[prev] = true
 			}
+		}
+
+		if exp.Part != nil {
+			// Batch units onto shard nodes. Every shard node inherits
+			// the experiment's dependencies; the visible node depends
+			// only on the shards (and, transitively, on everything
+			// they inherited).
+			units := exp.Part.Units
+			count := shards
+			if count > units {
+				count = units
+			}
+			if count < 1 {
+				count = 1
+			}
+			st := &partState{outs: make([]unitOut, units)}
+			n.part = st
+			shardDeps := make(map[*node]bool, count)
+			for k := 0; k < count; k++ {
+				sn := &node{
+					exp:    n.exp,
+					hidden: true,
+					shard:  &shardRange{state: st, lo: k * units / count, hi: (k + 1) * units / count},
+				}
+				link(sn, deps)
+				add(sn)
+				shardDeps[sn] = true
+			}
+			link(n, shardDeps)
+		} else {
+			link(n, deps)
+		}
+		if e.Needs.Device != "" {
 			lastOnDevice[e.Needs.Device] = n
 		}
-		for d := range deps {
-			d.dependents = append(d.dependents, n)
-			n.pending++
-		}
 		byName[e.Name] = n
-		nodes = append(nodes, n)
+		add(n)
 	}
-	// Deterministic dependent ordering (map iteration above).
+	// Deterministic dependent ordering (map iteration above). Shard
+	// nodes share their experiment's registration index, so break ties
+	// by creation order.
 	for _, n := range nodes {
 		sort.Slice(n.dependents, func(i, j int) bool {
-			return s.idx[n.dependents[i].exp.Name] < s.idx[n.dependents[j].exp.Name]
+			a, b := n.dependents[i], n.dependents[j]
+			if s.idx[a.exp.Name] != s.idx[b.exp.Name] {
+				return s.idx[a.exp.Name] < s.idx[b.exp.Name]
+			}
+			return serial[a] < serial[b]
 		})
 	}
 	return nodes, nil

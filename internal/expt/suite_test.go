@@ -494,7 +494,7 @@ func TestDefaultSuiteShape(t *testing.T) {
 	}
 	for _, want := range []string{
 		"table1", "table3", "fig5", "fig7", "fig8", "fig10",
-		"fig12", "fig14", "fig15", "fig16", "defense", "scrambler",
+		"fig12", "fig14", "fig15", "fig16", "defense", "scrambler", "banks",
 	} {
 		if !names[want] {
 			t.Errorf("registry missing %s", want)

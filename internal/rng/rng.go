@@ -55,6 +55,17 @@ func Split(seed uint64, label string) uint64 {
 	return Hash(words...)
 }
 
+// SplitN derives the i-th child seed of (seed, label) — the indexed
+// form of Split used by the shard layer: shard unit i of an experiment
+// draws from SplitN(experimentSeed, "unit", i). Children of one
+// (seed, label) pair are decorrelated from each other, from the
+// labeled Split child, and from the base seed, so concurrently
+// executing shards never share generator state and a partitioned
+// result cannot depend on how units were grouped into shards.
+func SplitN(seed uint64, label string, i int) uint64 {
+	return Hash(Split(seed, label), uint64(i))
+}
+
 // Uniform returns a deterministic draw in the half-open interval
 // (0, 1], derived from the given words. The interval excludes zero so
 // the draw can be used directly as a Pareto-style threshold scale
