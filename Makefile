@@ -5,16 +5,20 @@
 #   make short   - fast unit tests only (skips catalog-scale probes)
 #   make bench   - regenerate every paper artifact as benchmarks
 #   make suite   - run the concurrent experiment suite (all artifacts)
+#   make serve   - boot the HTTP run service (cmd/dramscoped)
 #   make golden  - regenerate the golden-report fixture after an
 #                  intentional output change (review the diff!)
 #
 # SUITE_FLAGS passes through to cmd/experiments, e.g.
 #   make suite SUITE_FLAGS='-run fig12,fig14 -jobs 8 -shards 32 -json out.json'
+# SERVE_FLAGS passes through to cmd/dramscoped, e.g.
+#   make serve SERVE_FLAGS='-addr :9000 -budget 8 -cache 128'
 
 GO ?= go
 SUITE_FLAGS ?= -run all
+SERVE_FLAGS ?=
 
-.PHONY: build test race short bench suite vet golden
+.PHONY: build test race short bench suite serve vet golden
 
 build:
 	$(GO) build ./...
@@ -36,6 +40,9 @@ bench:
 
 suite:
 	$(GO) run ./cmd/experiments $(SUITE_FLAGS)
+
+serve:
+	$(GO) run ./cmd/dramscoped $(SERVE_FLAGS)
 
 # The fixture is the full default-profile/default-seed suite report;
 # TestGoldenSuiteReport fails on any byte drift from it.

@@ -11,7 +11,8 @@ import (
 	"dramscope/internal/topo"
 )
 
-// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// Ablation benchmarks for the design choices the chip model's package
+// docs call out: the
 // O(1) hammer pulse path, the stress-floor scan skip that keeps
 // incidental activations cheap, and the end-to-end cost of the blind
 // discovery pipeline.

@@ -1,5 +1,5 @@
 // Benchmark harness: one testing.B benchmark per paper table and
-// figure (DESIGN.md §5's per-experiment index). Each benchmark runs
+// figure (the artifact map in README.md). Each benchmark runs
 // the full experiment — device construction, blind reverse-
 // engineering, and measurement — and reports the paper-facing result
 // as custom metrics so `go test -bench=.` regenerates every artifact.

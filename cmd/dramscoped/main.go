@@ -1,0 +1,76 @@
+// Command dramscoped serves the experiment suite over HTTP: a
+// long-running front-end that turns every paper artifact into a
+// cacheable service request. Clients create runs with POST /runs
+// (profile, seed, selection), watch them via GET /runs/{id} or the
+// NDJSON stream at GET /runs/{id}/stream, and fetch the finished
+// report — byte-identical to `cmd/experiments -json` for the same
+// inputs — from GET /runs/{id}/report. See docs/api.md for the full
+// API and examples/service_client for a programmatic client.
+//
+// Usage:
+//
+//	dramscoped -addr :8077
+//	dramscoped -addr 127.0.0.1:8077 -budget 8 -cache 128
+//
+// -budget bounds the worker tokens shared by all concurrent runs;
+// -cache sizes the LRU result cache (entries; determinism makes
+// entries immortal, so capacity is the only eviction).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dramscope/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	budget := flag.Int("budget", 0, "worker tokens shared across concurrent runs (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default 64, negative = disabled)")
+	retain := flag.Int("retain", 0, "finished runs kept queryable before the oldest are evicted (0 = default 256)")
+	flag.Parse()
+
+	if err := run(*addr, *budget, *cacheSize, *retain); err != nil {
+		fmt.Fprintln(os.Stderr, "dramscoped:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, budget, cacheSize, retain int) error {
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: serve.New(serve.Config{Budget: budget, CacheSize: cacheSize, Retain: retain}),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "dramscoped: listening on %s\n", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, give in-flight responses a
+		// moment, then force-close (long-lived streams keep the
+		// connection open, so a hard deadline is required).
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,20 +1,26 @@
 // Command experiments regenerates the paper's tables and figures
-// (the per-experiment index in DESIGN.md §5) against simulated
+// (the artifact → experiment map in README.md) against simulated
 // devices. Experiments run concurrently over a worker pool; for a
 // fixed -seed the output is byte-identical for any -jobs value.
+// Ctrl-C cancels the run: experiments that have not started are
+// skipped and reported as canceled. For a long-running service
+// front-end to the same suite, see cmd/dramscoped.
 //
 // Usage:
 //
 //	experiments -run table1,table3,fig5,fig7,fig8,fig10,fig12,fig14,fig15,fig16,defense,scrambler
 //	experiments -run all -profile MfrA-DDR4-x4-2021 -jobs 8
 //	experiments -json results.json -csv outdir
+//	experiments -progress
 //	experiments -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -29,16 +35,29 @@ func main() {
 	shards := flag.Int("shards", 0, "shard cap per partitioned experiment (0 = worker count); results are identical for any value")
 	jsonPath := flag.String("json", "", "file for the machine-readable JSON report (optional)")
 	csvDir := flag.String("csv", "", "directory for CSV result files (optional)")
+	progress := flag.Bool("progress", false, "print per-experiment completion to stderr (stdout stays byte-stable)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
-	if err := run(*runList, *profile, *seed, *jobs, *shards, *jsonPath, *csvDir, *list); err != nil {
+	// Cancel on Ctrl-C / SIGINT: in-flight experiments finish, not-yet
+	// started ones are skipped and surface a canceled error in the
+	// report, and the process exits non-zero through rep.Err. Once the
+	// context is canceled the handler is released, so a second Ctrl-C
+	// force-kills instead of waiting out in-flight experiments.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	if err := run(ctx, *runList, *profile, *seed, *jobs, *shards, *jsonPath, *csvDir, *progress, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(runList, profile string, seed uint64, jobs, shards int, jsonPath, csvDir string, list bool) error {
+func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards int, jsonPath, csvDir string, progress, list bool) error {
 	suite, err := expt.DefaultSuite(profile, seed)
 	if err != nil {
 		return err
@@ -69,7 +88,19 @@ func run(runList, profile string, seed uint64, jobs, shards int, jsonPath, csvDi
 		return fmt.Errorf("empty -run selection (use -list for experiment ids)")
 	}
 
-	rep, err := suite.Run(expt.Options{Jobs: jobs, Shards: shards, Only: only})
+	opt := expt.Options{Jobs: jobs, Shards: shards, Only: only, Context: ctx}
+	if progress {
+		// Progress is out-of-band on stderr so the deterministic
+		// report on stdout stays byte-identical with or without it.
+		opt.OnResult = func(index, total int, res *expt.ExptResult) {
+			state := "ok"
+			if res.Err != nil {
+				state = res.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", index+1, total, res.Name, state)
+		}
+	}
+	rep, err := suite.Run(opt)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs keeps the documentation pass from rotting: every
+// internal package (and every command) must carry a godoc package
+// comment of at least a paragraph on one of its non-test files. A new
+// package without one fails here, with instructions, instead of
+// shipping undocumented.
+func TestPackageDocs(t *testing.T) {
+	t.Parallel()
+	var roots []string
+	for _, glob := range []string{"internal/*", "cmd/*"} {
+		dirs, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots = append(roots, dirs...)
+	}
+	if len(roots) < 10 {
+		t.Fatalf("found only %d packages under internal/ and cmd/; glob broken?", len(roots))
+	}
+
+	const minDocLen = 120 // a real paragraph, not a placeholder line
+
+	for _, dir := range roots {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc, pkgName string
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", dir, name, err)
+			}
+			pkgName = f.Name.Name
+			if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+				doc = f.Doc.Text()
+			}
+		}
+		if pkgName == "" {
+			continue // no Go files (e.g. a testdata-only dir)
+		}
+		if doc == "" {
+			t.Errorf("package %s (%s) has no package comment; add a godoc paragraph stating its role and the paper sections it implements", pkgName, dir)
+			continue
+		}
+		wantPrefix := "Package " + pkgName
+		if pkgName == "main" {
+			wantPrefix = "Command "
+		}
+		if !strings.HasPrefix(doc, wantPrefix) {
+			t.Errorf("package comment of %s (%s) starts %q; godoc convention wants %q", pkgName, dir, firstLine(doc), wantPrefix)
+		}
+		if len(doc) < minDocLen {
+			t.Errorf("package comment of %s (%s) is %d chars; write a real paragraph (>= %d)", pkgName, dir, len(doc), minDocLen)
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

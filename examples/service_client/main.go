@@ -1,0 +1,223 @@
+// Command service_client demonstrates the dramscoped HTTP API — and
+// proves its central promise: the served report is byte-identical to
+// a local run of the same suite.
+//
+// It creates a run (POST /runs), follows the per-experiment NDJSON
+// stream (GET /runs/{id}/stream) printing progress as results land,
+// fetches the finished report (GET /runs/{id}/report), runs the very
+// same (profile, seed, selection) through the suite in-process, and
+// byte-compares the two JSON reports. Any difference is a bug in the
+// determinism contract and exits non-zero — CI boots a server and
+// runs this client as the end-to-end gate.
+//
+// Usage (against a local server):
+//
+//	dramscoped -addr :8077 &
+//	go run ./examples/service_client -addr http://127.0.0.1:8077 -run table1,fig5,defense
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"dramscope/internal/expt"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "dramscoped base URL")
+	runList := flag.String("run", "table1,fig5,defense", "comma-separated experiment ids (empty = full suite)")
+	profile := flag.String("profile", expt.DefaultFigProfile, "device profile for the figure experiments")
+	seed := flag.Uint64("seed", expt.DefaultSeed, "suite base seed")
+	jobs := flag.Int("jobs", 0, "requested worker count (server clamps to its budget)")
+	verify := flag.Bool("verify", true, "re-run the suite locally and byte-compare the reports")
+	wantCached := flag.Bool("want-cached", false, "fail unless the server answers from its result cache (CI's cache regression gate)")
+	flag.Parse()
+
+	if err := run(*addr, *runList, *profile, *seed, *jobs, *verify, *wantCached); err != nil {
+		fmt.Fprintln(os.Stderr, "service_client:", err)
+		os.Exit(1)
+	}
+}
+
+// runRequest mirrors the POST /runs body (docs/api.md).
+type runRequest struct {
+	Profile string   `json:"profile,omitempty"`
+	Seed    *uint64  `json:"seed,omitempty"`
+	Only    []string `json:"only,omitempty"`
+	Jobs    int      `json:"jobs,omitempty"`
+}
+
+// runStatus is the subset of the RunStatus schema the client reads.
+type runStatus struct {
+	ID     string   `json:"id"`
+	State  string   `json:"state"`
+	Total  int      `json:"total"`
+	Cached bool     `json:"cached"`
+	Error  string   `json:"error"`
+	Exps   []string `json:"experiments"`
+}
+
+// streamEvent is one NDJSON line of GET /runs/{id}/stream.
+type streamEvent struct {
+	Index      int             `json:"index"`
+	Total      int             `json:"total"`
+	Experiment json.RawMessage `json:"experiment"`
+	Done       bool            `json:"done"`
+	State      string          `json:"state"`
+	Error      string          `json:"error"`
+}
+
+func run(addr, runList, profile string, seed uint64, jobs int, verify, wantCached bool) error {
+	var only []string
+	for _, id := range strings.Split(runList, ",") {
+		if id = strings.TrimSpace(id); id != "" && id != "all" {
+			only = append(only, id)
+		}
+	}
+
+	// 1. Create the run.
+	body, err := json.Marshal(runRequest{Profile: profile, Seed: &seed, Only: only, Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(addr+"/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("POST /runs: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST /runs: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var st runStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decode run status: %w", err)
+	}
+	fmt.Printf("run %s: %d experiments (cached=%v)\n", st.ID, st.Total, st.Cached)
+	if wantCached && !st.Cached {
+		return fmt.Errorf("expected a result-cache hit, got a fresh run — cache keying regressed")
+	}
+
+	// 2. Follow the stream: results arrive in registration order.
+	if err := follow(addr, st.ID); err != nil {
+		return err
+	}
+
+	// 3. Fetch the finished report verbatim.
+	served, err := fetchReport(addr, st.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("served report: %d bytes\n", len(served))
+
+	if !verify {
+		return nil
+	}
+
+	// 4. The determinism contract, demonstrated: the same (profile,
+	// seed, selection) run locally must reproduce the served report
+	// byte for byte.
+	suite, err := expt.DefaultSuite(profile, seed)
+	if err != nil {
+		return err
+	}
+	rep, err := suite.Run(expt.Options{Only: only, Jobs: jobs})
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("local run: %w", err)
+	}
+	local, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(served, local) {
+		reportDiff(served, local)
+		return fmt.Errorf("served and local reports differ — determinism contract broken")
+	}
+	fmt.Printf("OK: served report is byte-identical to the local run (%d bytes)\n", len(local))
+	return nil
+}
+
+// follow streams NDJSON progress until the terminal event.
+func follow(addr, id string) error {
+	resp, err := http.Get(addr + "/runs/" + id + "/stream")
+	if err != nil {
+		return fmt.Errorf("GET /runs/%s/stream: %w", id, err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad stream line %q: %w", sc.Text(), err)
+		}
+		if ev.Done {
+			if ev.State != "done" {
+				return fmt.Errorf("run finished %s: %s", ev.State, ev.Error)
+			}
+			fmt.Printf("stream complete: state=%s\n", ev.State)
+			return nil
+		}
+		var exp struct {
+			Name string `json:"name"`
+			Err  string `json:"error"`
+		}
+		if err := json.Unmarshal(ev.Experiment, &exp); err != nil {
+			return err
+		}
+		state := "ok"
+		if exp.Err != "" {
+			state = exp.Err
+		}
+		fmt.Printf("  [%d/%d] %s: %s\n", ev.Index+1, ev.Total, exp.Name, state)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream read: %w", err)
+	}
+	return fmt.Errorf("stream ended without a terminal event")
+}
+
+func fetchReport(addr, id string) ([]byte, error) {
+	resp, err := http.Get(addr + "/runs/" + id + "/report")
+	if err != nil {
+		return nil, fmt.Errorf("GET /runs/%s/report: %w", id, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /runs/%s/report: %s: %s", id, resp.Status, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+// reportDiff prints the first line where the two reports diverge.
+func reportDiff(served, local []byte) {
+	s := strings.Split(string(served), "\n")
+	l := strings.Split(string(local), "\n")
+	for i := 0; i < len(s) || i < len(l); i++ {
+		var a, b string
+		if i < len(s) {
+			a = s[i]
+		}
+		if i < len(l) {
+			b = l[i]
+		}
+		if a != b {
+			fmt.Fprintf(os.Stderr, "first divergence at line %d:\n  served: %s\n  local:  %s\n", i+1, a, b)
+			return
+		}
+	}
+}

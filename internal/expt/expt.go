@@ -1,5 +1,5 @@
 // Package expt implements one runner per table and figure of the
-// paper's evaluation (the per-experiment index in DESIGN.md §5). The
+// paper's evaluation (the artifact → experiment map in README.md). The
 // runners are shared by cmd/experiments, the test suite, and the
 // benchmark harness; each returns typed results plus a rendered text
 // table shaped like the paper's artifact output.

@@ -321,7 +321,7 @@ func TestFig15HcntShape(t *testing.T) {
 			t.Errorf("Hcnt ratios out of shape (value %d): %v", vi, r.Relative)
 		}
 	}
-	// Known deviation (DESIGN.md §6): magnitudes are stronger than
+	// Known deviation (README.md "Model notes"): magnitudes are stronger than
 	// the paper's 0.95/0.87/0.81 because one constant set serves both
 	// Fig. 14 and Fig. 15; ordering must hold.
 	if r.Relative[2][0] < 0.4 || r.Relative[2][0] > 0.95 {

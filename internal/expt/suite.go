@@ -20,9 +20,13 @@
 //     index) and measures on its own pristine device clone, so the
 //     merged result is also independent of the shard count;
 //   - output is assembled in registration order, not completion order.
+//
+// (File comment — the package comment lives in expt.go.)
+
 package expt
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -142,6 +146,21 @@ type ExptResult struct {
 	Err    error
 }
 
+// MarshalJSON renders one result exactly like the corresponding entry
+// of Report.JSON's "experiments" array, so per-experiment consumers
+// (the service's NDJSON stream) and whole-report consumers see one
+// schema.
+func (res *ExptResult) MarshalJSON() ([]byte, error) {
+	je := jsonExperiment{Name: res.Name, Title: res.Title, Text: res.Text}
+	for _, t := range res.Tables {
+		je.Tables = append(je.Tables, jsonTable{ID: t.ID, Table: t.Table})
+	}
+	if res.Err != nil {
+		je.Err = res.Err.Error()
+	}
+	return json.Marshal(je)
+}
+
 // Report collects the outcomes of one Suite run in registration order.
 type Report struct {
 	Seed    uint64
@@ -179,10 +198,12 @@ func (r *Report) Err() error {
 	return fmt.Errorf("suite: %s", strings.Join(msgs, "; "))
 }
 
-// jsonReport is the machine-readable shape of a Report.
+// jsonReport is the machine-readable shape of a Report. Experiments
+// marshal through ExptResult.MarshalJSON — the single conversion site
+// shared with per-experiment consumers, so the two can never drift.
 type jsonReport struct {
-	Seed        uint64           `json:"seed"`
-	Experiments []jsonExperiment `json:"experiments"`
+	Seed        uint64        `json:"seed"`
+	Experiments []*ExptResult `json:"experiments"`
 }
 
 type jsonExperiment struct {
@@ -202,18 +223,7 @@ type jsonTable struct {
 // deterministic for a fixed seed and selection: no timestamps or
 // durations, experiments in registration order.
 func (r *Report) JSON() ([]byte, error) {
-	out := jsonReport{Seed: r.Seed}
-	for _, res := range r.Results {
-		je := jsonExperiment{Name: res.Name, Title: res.Title, Text: res.Text}
-		for _, t := range res.Tables {
-			je.Tables = append(je.Tables, jsonTable{ID: t.ID, Table: t.Table})
-		}
-		if res.Err != nil {
-			je.Err = res.Err.Error()
-		}
-		out.Experiments = append(out.Experiments, je)
-	}
-	return json.MarshalIndent(out, "", "  ")
+	return json.MarshalIndent(jsonReport{Seed: r.Seed, Experiments: r.Results}, "", "  ")
 }
 
 // Suite holds the registered experiments and the per-device Envs they
@@ -224,6 +234,7 @@ type Suite struct {
 	idx      map[string]int
 	profiles map[string]topo.Profile
 	ran      bool
+	ctx      context.Context // set by Run; never nil while running
 
 	mu      sync.Mutex
 	envs    map[string]*Env
@@ -291,6 +302,99 @@ func (s *Suite) Names() []string {
 	return out
 }
 
+// ExperimentInfo describes one registered experiment for discovery
+// (the -list flag, the service's GET /experiments endpoint).
+type ExperimentInfo struct {
+	// Name is the selection id (-run, Options.Only).
+	Name string `json:"name"`
+	// Title heads the experiment's output block; empty for helper
+	// steps that produce no block of their own.
+	Title string `json:"title,omitempty"`
+	// Device is the shared device profile the experiment measures on
+	// (Needs.Device); empty if it manages its own devices.
+	Device string `json:"device,omitempty"`
+	// After lists experiments selected transitively with this one.
+	After []string `json:"after,omitempty"`
+	// Units is the unit count of a partitioned experiment; 0 for a
+	// monolithic one.
+	Units int `json:"units,omitempty"`
+}
+
+// Experiments returns discovery metadata for every registered
+// experiment, in registration order.
+func (s *Suite) Experiments() []ExperimentInfo {
+	out := make([]ExperimentInfo, len(s.exps))
+	for i, e := range s.exps {
+		info := ExperimentInfo{
+			Name:   e.Name,
+			Title:  e.Title,
+			Device: e.Needs.Device,
+			After:  append([]string(nil), e.Needs.After...),
+		}
+		if e.Part != nil {
+			info.Units = e.Part.Units
+		}
+		out[i] = info
+	}
+	return out
+}
+
+// Selection resolves an Options.Only-style selection to the
+// experiments a Run would execute, in registration order, with After
+// dependencies included transitively. A nil or empty selection means
+// every registered experiment. It is the validation entry point for
+// callers that need to reject a bad selection (or know the result
+// count) before committing to a run.
+func (s *Suite) Selection(only []string) ([]string, error) {
+	set, err := s.selectionSet(only)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range s.exps {
+		if set[e.Name] {
+			out = append(out, e.Name)
+		}
+	}
+	return out, nil
+}
+
+// selectionSet marks the selection closure: the named experiments
+// plus, transitively, everything they declare After.
+func (s *Suite) selectionSet(only []string) (map[string]bool, error) {
+	selected := make(map[string]bool)
+	if len(only) == 0 {
+		for _, e := range s.exps {
+			selected[e.Name] = true
+		}
+		return selected, nil
+	}
+	var mark func(name string) error
+	mark = func(name string) error {
+		i, ok := s.idx[name]
+		if !ok {
+			return fmt.Errorf("suite: unknown experiment %q (have: %s)",
+				name, strings.Join(s.Names(), ", "))
+		}
+		if selected[name] {
+			return nil
+		}
+		selected[name] = true
+		for _, dep := range s.exps[i].Needs.After {
+			if err := mark(dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, name := range only {
+		if err := mark(name); err != nil {
+			return nil, err
+		}
+	}
+	return selected, nil
+}
+
 // env returns the shared Env for a device profile, creating it on
 // first use with a seed split from the suite seed by device name.
 func (s *Suite) env(device string) (*Env, error) {
@@ -326,6 +430,22 @@ type Options struct {
 	// Only selects experiments by name (nil / empty = all). After
 	// dependencies of a selected experiment are selected transitively.
 	Only []string
+	// Context, when non-nil, cancels the run: scheduled steps that have
+	// not started when it is done are not executed, and the affected
+	// experiments carry the context's error in the report. A context
+	// that is never canceled has no effect on the run or its output, so
+	// the byte-identical-for-any-jobs contract is untouched.
+	Context context.Context
+	// OnResult, when non-nil, is invoked once per visible experiment as
+	// it completes, with the experiment's index into the final
+	// Report.Results slice and the total number of selected
+	// experiments. Calls arrive from worker goroutines — concurrently
+	// and in completion order, not registration order; reorder by index
+	// if order matters. The *ExptResult is the same object the Report
+	// will hold and must be treated as read-only. The callback is for
+	// out-of-band progress (logs, streams, metrics); the report itself
+	// stays byte-identical whether or not one is installed.
+	OnResult func(index, total int, res *ExptResult)
 }
 
 // unitOut is one unit's outcome in a partitioned experiment. Shard
@@ -380,6 +500,10 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 		return nil, fmt.Errorf("suite: already ran; build a fresh Suite per run")
 	}
 	s.ran = true
+	s.ctx = opt.Context
+	if s.ctx == nil {
+		s.ctx = context.Background()
+	}
 	jobs := opt.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -394,6 +518,16 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 	}
 	if jobs > len(nodes) && len(nodes) > 0 {
 		jobs = len(nodes)
+	}
+
+	// Report indices of the visible nodes, for OnResult progress.
+	reportIdx := make(map[*node]int)
+	total := 0
+	for _, n := range nodes {
+		if !n.hidden {
+			reportIdx[n] = total
+			total++
+		}
 	}
 
 	ready := make(chan *node, len(nodes))
@@ -436,6 +570,9 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 			defer wg.Done()
 			for n := range ready {
 				s.runNode(n)
+				if !n.hidden && opt.OnResult != nil {
+					opt.OnResult(reportIdx[n], total, n.res)
+				}
 				failed := ""
 				if n.res.Err != nil {
 					// A skipped node passes on the root cause, not its
@@ -468,6 +605,19 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 // and lose every other experiment's output.
 func (s *Suite) runNode(n *node) {
 	n.res = &ExptResult{Name: n.exp.Name, Title: n.exp.Title}
+	if err := s.ctx.Err(); err != nil {
+		// Canceled before this step started. Shard nodes record the
+		// cancellation per unit (they are absent from the report); the
+		// merge node will surface the lowest-index one.
+		if n.shard != nil {
+			for i := n.shard.lo; i < n.shard.hi; i++ {
+				n.shard.state.outs[i] = unitOut{err: err}
+			}
+			return
+		}
+		n.res.Err = err
+		return
+	}
 	if n.failedDep != "" {
 		n.res.Err = fmt.Errorf("skipped: dependency %s failed", n.failedDep)
 		return
@@ -608,35 +758,9 @@ func runUnitProtected(unit func(*ShardJob) (interface{}, error), sj *ShardJob) (
 // hangs off the visible node, so on a shared device the partition
 // occupies one chain slot exactly like a monolithic experiment.
 func (s *Suite) plan(only []string, shards int) ([]*node, error) {
-	selected := make(map[string]bool)
-	if len(only) == 0 {
-		for _, e := range s.exps {
-			selected[e.Name] = true
-		}
-	} else {
-		var mark func(name string) error
-		mark = func(name string) error {
-			i, ok := s.idx[name]
-			if !ok {
-				return fmt.Errorf("suite: unknown experiment %q (have: %s)",
-					name, strings.Join(s.Names(), ", "))
-			}
-			if selected[name] {
-				return nil
-			}
-			selected[name] = true
-			for _, dep := range s.exps[i].Needs.After {
-				if err := mark(dep); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		for _, name := range only {
-			if err := mark(name); err != nil {
-				return nil, err
-			}
-		}
+	selected, err := s.selectionSet(only)
+	if err != nil {
+		return nil, err
 	}
 
 	// Deepest probe level per device across the selection.

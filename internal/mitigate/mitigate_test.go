@@ -9,7 +9,7 @@ import (
 )
 
 // Threshold note: the simulator's fault model scales flip rates up for
-// statistics (DESIGN.md §1), which scales the minimum first-flip count
+// statistics (README.md "Model notes"), which scales the minimum first-flip count
 // down; tracker thresholds here scale with it. The stress floor
 // (HammerMinStress = 5000 factor-weighted activations) plays the role
 // of the minimum RowHammer threshold: a defense is airtight when no

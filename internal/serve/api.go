@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dramscope/internal/expt"
+)
+
+// This file defines the service's wire types — the request/response
+// schemas of the HTTP API documented in docs/api.md. They are
+// deliberately thin adapters over package expt: the report payload
+// itself is produced by expt.Report.JSON and served verbatim, so the
+// service never re-encodes (and can never perturb) the byte-stable
+// report contract.
+
+// RunRequest is the body of POST /runs. Every field is optional; the
+// zero request runs the full default suite.
+type RunRequest struct {
+	// Profile selects the device profile the figure experiments
+	// measure on. Empty means expt.DefaultFigProfile.
+	Profile string `json:"profile,omitempty"`
+	// Seed is the suite base seed. Absent means expt.DefaultSeed.
+	// (A pointer so that an explicit {"seed": 0} is distinguishable
+	// from an absent field.)
+	Seed *uint64 `json:"seed,omitempty"`
+	// Only selects experiments by name (see GET /experiments); empty
+	// means all. After dependencies are selected transitively, exactly
+	// like cmd/experiments -run.
+	Only []string `json:"only,omitempty"`
+	// Jobs is the requested worker count for this run. It is clamped
+	// to the server's shared worker budget and has no effect on the
+	// report bytes — only on wall time.
+	Jobs int `json:"jobs,omitempty"`
+	// Shards caps scheduler nodes per partitioned experiment; like
+	// Jobs it can never change a byte of the report.
+	Shards int `json:"shards,omitempty"`
+}
+
+// normalized is a RunRequest with defaults applied and the selection
+// resolved, ready to key the cache and start a suite.
+type normalized struct {
+	Profile string
+	Seed    uint64
+	Only    []string // as requested (empty = all)
+	Names   []string // resolved selection closure, registration order
+	Jobs    int
+	Shards  int
+}
+
+// key canonicalizes the run inputs that can affect the report:
+// profile, seed, and the *resolved* selection closure. Two requests
+// that name different subsets with the same closure (e.g. ["table3"]
+// vs ["table3", all its parts]) share a cache entry; jobs and shards
+// are excluded because the determinism contract guarantees they
+// cannot change a byte.
+func (n *normalized) key() string {
+	return fmt.Sprintf("%s|%d|%s", n.Profile, n.Seed, strings.Join(n.Names, ","))
+}
+
+// normalize applies defaults and resolves the selection against a
+// freshly built suite (which doubles as validation: unknown profiles
+// and experiment names are rejected here, before a run is created).
+func normalize(req RunRequest, factory SuiteFactory) (*normalized, *expt.Suite, error) {
+	n := &normalized{
+		Profile: req.Profile,
+		Seed:    expt.DefaultSeed,
+		Jobs:    req.Jobs,
+		Shards:  req.Shards,
+	}
+	if n.Profile == "" {
+		n.Profile = expt.DefaultFigProfile
+	}
+	if req.Seed != nil {
+		n.Seed = *req.Seed
+	}
+	for _, name := range req.Only {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		n.Only = append(n.Only, name)
+	}
+	suite, err := factory(n.Profile, n.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	names, err := suite.Selection(n.Only)
+	if err != nil {
+		return nil, nil, err
+	}
+	n.Names = names
+	return n, suite, nil
+}
+
+// Run states reported by RunStatus.State.
+const (
+	// StateRunning: the run is queued for workers or executing.
+	StateRunning = "running"
+	// StateDone: every experiment succeeded; the report is available.
+	StateDone = "done"
+	// StateFailed: at least one experiment errored. The report is
+	// still available — failed experiments carry their error in it,
+	// exactly like cmd/experiments.
+	StateFailed = "failed"
+	// StateCanceled: the run was canceled via DELETE /runs/{id} (or
+	// the server shut down). No report is served.
+	StateCanceled = "canceled"
+)
+
+// RunStatus is the body of GET /runs/{id} (and of the POST /runs and
+// DELETE /runs/{id} responses).
+type RunStatus struct {
+	ID      string   `json:"id"`
+	State   string   `json:"state"`
+	Profile string   `json:"profile"`
+	Seed    uint64   `json:"seed"`
+	Jobs    int      `json:"jobs,omitempty"`
+	Shards  int      `json:"shards,omitempty"`
+	// Experiments is the resolved selection, in registration order —
+	// the order report entries and stream events appear in.
+	Experiments []string `json:"experiments"`
+	// Total and Completed count selected experiments; Completed grows
+	// as results land, so polling GET /runs/{id} shows progress.
+	Total     int  `json:"total"`
+	Completed int  `json:"completed"`
+	// Cached reports that the run was served from the result cache
+	// without executing.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Report is the deterministic JSON report, embedded verbatim once
+	// the run reaches "done" or "failed". For the raw bytes (exactly
+	// `cmd/experiments -json`), use GET /runs/{id}/report.
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// StreamEvent is one line of the GET /runs/{id}/stream NDJSON body.
+// Result lines carry Experiment and arrive strictly in registration
+// order (index 0, 1, 2, ...); the final line has Done set and reports
+// the run's terminal state instead.
+type StreamEvent struct {
+	Index int `json:"index"`
+	Total int `json:"total"`
+	// Experiment is one completed experiment's result, in exactly the
+	// shape of the corresponding entry of the report's "experiments"
+	// array.
+	Experiment *expt.ExptResult `json:"experiment,omitempty"`
+	Done       bool             `json:"done,omitempty"`
+	State      string           `json:"state,omitempty"`
+	Error      string           `json:"error,omitempty"`
+}
+
+// ProfileInfo is one entry of GET /profiles: the Table I metadata of a
+// device profile plus what a run request needs to know (the name).
+type ProfileInfo struct {
+	Name           string `json:"name"`
+	Kind           string `json:"kind"`
+	Vendor         string `json:"vendor"`
+	ChipWidth      int    `json:"chipWidth"`
+	Density        string `json:"density"`
+	Year           int    `json:"year,omitempty"`
+	Banks          int    `json:"banks"`
+	Representative bool   `json:"representative,omitempty"`
+	Default        bool   `json:"default,omitempty"`
+}
+
+// apiError is the uniform error body: every non-2xx response is
+// {"error": "..."}.
+type apiError struct {
+	Error string `json:"error"`
+}

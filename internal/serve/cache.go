@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one completed run's servable artifacts: everything a
+// cache hit needs to answer GET /runs/{id}, /report, and /stream
+// without executing a suite. All fields are immutable after insertion
+// (the byte slices are served to many readers concurrently).
+type cacheEntry struct {
+	key    string
+	names  []string // resolved selection, registration order
+	report []byte   // exact Report.JSON bytes
+	lines  [][]byte // per-experiment NDJSON payloads, by report index
+}
+
+// resultCache is a plain LRU over canonicalized run keys (see
+// normalized.key). Determinism is what makes this sound: the report
+// for (profile, seed, selection) can never change, so entries have no
+// TTL and no invalidation — only capacity eviction.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	idx map[string]*list.Element
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry for key, promoting it to most recently used.
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// add inserts an entry, evicting the least recently used one past
+// capacity. Re-adding an existing key just refreshes its position
+// (the value is identical by construction — determinism again).
+func (c *resultCache) add(e *cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[e.key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.idx, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the live entry count (tests).
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

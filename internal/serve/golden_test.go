@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestServeGoldenReport is the service's half of the byte-stable
+// report contract: the report served for the default full-suite
+// request — POST /runs with an empty body — must be byte-identical to
+// the committed golden fixture, and therefore (via the expt package's
+// TestGoldenSuiteReport) to `cmd/experiments -json` for the same
+// inputs. It runs the real full suite, so it skips in -short mode and
+// under the race detector, mirroring the fixture test it pairs with.
+func TestServeGoldenReport(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full-suite run (~2 min)")
+	}
+	if raceEnabled {
+		t.Skip("full suite under -race exceeds the CI budget; serve_test.go covers the handlers")
+	}
+	want, err := os.ReadFile("../expt/testdata/suite_report.json")
+	if err != nil {
+		t.Fatalf("missing fixture (run `make golden`): %v", err)
+	}
+
+	ts := newTestServer(t, Config{})
+	st, resp := postRun(t, ts, `{}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs status = %d, want 202", resp.StatusCode)
+	}
+
+	// Drain the stream first: every experiment must arrive exactly
+	// once, in registration order, and the event payloads must carry
+	// the same names the report will.
+	events := streamEvents(t, ts, st.ID)
+	if len(events) != st.Total+1 {
+		t.Fatalf("stream produced %d events, want %d results + 1 terminal", len(events), st.Total)
+	}
+	for i := 0; i < st.Total; i++ {
+		if events[i].Index != i || events[i].Experiment == nil {
+			t.Fatalf("stream event %d out of order or empty: %+v", i, events[i])
+		}
+		if events[i].Experiment.Name != st.Experiments[i] {
+			t.Fatalf("stream event %d is %q, want %q", i, events[i].Experiment.Name, st.Experiments[i])
+		}
+	}
+	if term := events[st.Total]; !term.Done || term.State != StateDone {
+		t.Fatalf("terminal event = %+v, want done/state=done", term)
+	}
+
+	got, code := getReport(t, ts, st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /report status = %d, want 200", code)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := strings.Split(string(got), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("served report diverges from the golden fixture at line %d:\n  fixture: %s\n  served:  %s",
+				i+1, w, g)
+		}
+	}
+	t.Fatal("served report differs from fixture (length mismatch)")
+}

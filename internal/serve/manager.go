@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dramscope/internal/expt"
+)
+
+// SuiteFactory builds a fresh, unrun Suite for one (profile, seed)
+// pair. The manager builds a new suite per run because a Suite runs
+// exactly once (experiments mutate their shared devices). Production
+// wiring uses expt.DefaultSuite; tests inject small synthetic suites.
+type SuiteFactory func(profile string, seed uint64) (*expt.Suite, error)
+
+// Manager owns every run the server has accepted: it validates and
+// admits requests, schedules them against a bounded worker budget
+// shared across all concurrent runs, supports cancellation, and
+// serves repeated requests from an LRU result cache.
+type Manager struct {
+	factory SuiteFactory
+	// budget is the shared worker-token pool. A run blocks until it
+	// holds at least one token, then opportunistically takes up to its
+	// requested job count; tokens return when the run finishes. The
+	// report is byte-identical for any token count (the suite
+	// contract), so admission timing can never change a result.
+	budget chan struct{}
+	cache  *resultCache
+
+	// retain caps how many finished runs stay queryable; without it a
+	// long-running server would keep every run's report and stream
+	// payloads forever and grow without bound. Running runs are never
+	// evicted.
+	retain int
+
+	mu    sync.Mutex
+	runs  map[string]*run
+	order []string // run ids in admission order, for GET /runs
+	next  int
+}
+
+// defaultRetainTerminal is the default retention cap for finished
+// runs. Evicted runs answer 404; their cached reports (if any) remain
+// servable through new requests via the result cache.
+const defaultRetainTerminal = 256
+
+// NewManager builds a manager with the given shared worker budget
+// (<= 0 means GOMAXPROCS) and result-cache capacity in entries
+// (< 0 disables caching; 0 means the default of 64).
+func NewManager(factory SuiteFactory, budget, cacheSize int) *Manager {
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	if cacheSize == 0 {
+		cacheSize = 64
+	}
+	if cacheSize < 0 {
+		cacheSize = 0
+	}
+	m := &Manager{
+		factory: factory,
+		budget:  make(chan struct{}, budget),
+		cache:   newResultCache(cacheSize),
+		retain:  defaultRetainTerminal,
+		runs:    make(map[string]*run),
+	}
+	for i := 0; i < budget; i++ {
+		m.budget <- struct{}{}
+	}
+	return m
+}
+
+// run is one admitted request's lifecycle state.
+type run struct {
+	id     string
+	norm   *normalized
+	cached bool
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	changed   chan struct{} // closed and replaced on every state change
+	state     string
+	completed int
+	lines     [][]byte // per-experiment NDJSON payloads, by report index
+	report    []byte
+	errMsg    string
+}
+
+// bump wakes every waiter (stream handlers, tests). Callers hold r.mu.
+func (r *run) bump() {
+	close(r.changed)
+	r.changed = make(chan struct{})
+}
+
+// status snapshots the run as a RunStatus. withReport embeds the
+// report bytes (GET /runs/{id}); listings omit them.
+func (r *run) status(withReport bool) RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:          r.id,
+		State:       r.state,
+		Profile:     r.norm.Profile,
+		Seed:        r.norm.Seed,
+		Jobs:        r.norm.Jobs,
+		Shards:      r.norm.Shards,
+		Experiments: r.norm.Names,
+		Total:       len(r.norm.Names),
+		Completed:   r.completed,
+		Cached:      r.cached,
+		Error:       r.errMsg,
+	}
+	if withReport && r.report != nil && r.state != StateCanceled {
+		st.Report = json.RawMessage(r.report)
+	}
+	return st
+}
+
+// Start admits one run request: validate, check the cache, and either
+// return a pre-completed cached run or launch the suite on the shared
+// worker pool. The returned run is already registered and queryable.
+func (m *Manager) Start(req RunRequest) (*run, error) {
+	norm, suite, err := normalize(req, m.factory)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	m.next++
+	id := fmt.Sprintf("r%06d", m.next)
+	m.mu.Unlock()
+
+	r := &run{
+		id:      id,
+		norm:    norm,
+		changed: make(chan struct{}),
+		state:   StateRunning,
+		lines:   make([][]byte, len(norm.Names)),
+	}
+
+	if e, ok := m.cache.get(norm.key()); ok {
+		r.cached = true
+		r.state = StateDone
+		r.completed = len(e.names)
+		r.lines = e.lines
+		r.report = e.report
+		r.cancel = func() {}
+	} else {
+		ctx, cancel := context.WithCancel(context.Background())
+		r.cancel = cancel
+		go m.exec(ctx, r, suite)
+	}
+
+	m.mu.Lock()
+	m.runs[id] = r
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	m.prune()
+	return r, nil
+}
+
+// prune evicts the oldest finished runs past the retention cap, so
+// the per-run report and stream payloads a long-running server holds
+// stay bounded. Running runs are never evicted; evicted ids answer
+// 404 (the result cache still serves their reports to new requests).
+func (m *Manager) prune() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.retain <= 0 {
+		return
+	}
+	var terminal []string
+	for _, id := range m.order {
+		r := m.runs[id]
+		r.mu.Lock()
+		done := r.state != StateRunning
+		r.mu.Unlock()
+		if done {
+			terminal = append(terminal, id)
+		}
+	}
+	if len(terminal) <= m.retain {
+		return
+	}
+	evict := make(map[string]bool, len(terminal)-m.retain)
+	for _, id := range terminal[:len(terminal)-m.retain] {
+		evict[id] = true
+		delete(m.runs, id)
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		if !evict[id] {
+			kept = append(kept, id)
+		}
+	}
+	m.order = kept
+}
+
+// acquire blocks until the run holds at least one worker token, then
+// greedily takes up to want-1 more without blocking. Returns 0 if the
+// run was canceled while still queued.
+func (m *Manager) acquire(ctx context.Context, want int) int {
+	if want < 1 {
+		want = cap(m.budget)
+	}
+	if want > cap(m.budget) {
+		want = cap(m.budget)
+	}
+	got := 0
+	select {
+	case <-m.budget:
+		got = 1
+	case <-ctx.Done():
+		return 0
+	}
+	for got < want {
+		select {
+		case <-m.budget:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+func (m *Manager) release(n int) {
+	for i := 0; i < n; i++ {
+		m.budget <- struct{}{}
+	}
+}
+
+// exec runs one admitted request to completion on the shared pool.
+func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
+	workers := m.acquire(ctx, r.norm.Jobs)
+	if workers == 0 {
+		r.finish(StateCanceled, nil, context.Canceled.Error())
+		return
+	}
+	defer m.release(workers)
+
+	rep, err := suite.Run(expt.Options{
+		Jobs:     workers,
+		Shards:   r.norm.Shards,
+		Only:     r.norm.Only,
+		Context:  ctx,
+		OnResult: r.onResult,
+	})
+	switch {
+	case err != nil:
+		// Planning/registration failure: nothing ran.
+		r.finish(StateFailed, nil, err.Error())
+	case ctx.Err() != nil:
+		r.finish(StateCanceled, nil, ctx.Err().Error())
+	default:
+		data, jerr := rep.JSON()
+		if jerr != nil {
+			r.finish(StateFailed, nil, jerr.Error())
+			return
+		}
+		if rerr := rep.Err(); rerr != nil {
+			// Per-experiment failures: the report (with embedded
+			// errors) is still served, like cmd/experiments -json.
+			r.finish(StateFailed, data, rerr.Error())
+			return
+		}
+		r.finish(StateDone, data, "")
+		m.cache.add(&cacheEntry{
+			key:    r.norm.key(),
+			names:  r.norm.Names,
+			report: data,
+			lines:  r.snapshotLines(),
+		})
+	}
+}
+
+// onResult is the suite's per-experiment completion callback: marshal
+// the result once, store it under its report index, and wake streams.
+// It runs on suite worker goroutines, concurrently.
+func (r *run) onResult(index, total int, res *expt.ExptResult) {
+	line, err := json.Marshal(StreamEvent{Index: index, Total: total, Experiment: res})
+	if err != nil {
+		line, _ = json.Marshal(StreamEvent{Index: index, Total: total,
+			Error: fmt.Sprintf("marshal result: %v", err)})
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if index >= 0 && index < len(r.lines) && r.lines[index] == nil {
+		r.lines[index] = line
+		r.completed++
+	}
+	r.bump()
+}
+
+// finish moves the run to a terminal state. A run already canceled by
+// DELETE stays canceled (its late report, if any, is dropped).
+func (r *run) finish(state string, report []byte, errMsg string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateCanceled {
+		r.bump()
+		return
+	}
+	r.state = state
+	r.report = report
+	r.errMsg = errMsg
+	r.bump()
+}
+
+// snapshotLines copies the per-experiment payload slice for the cache
+// (the payloads themselves are immutable once written).
+func (r *run) snapshotLines() [][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]byte(nil), r.lines...)
+}
+
+// Get returns a run by id.
+func (m *Manager) Get(id string) (*run, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	return r, ok
+}
+
+// Runs returns every admitted run in admission order.
+func (m *Manager) Runs() []*run {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*run, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.runs[id])
+	}
+	return out
+}
+
+// Cancel cancels a run by id. Canceling a finished (or cached) run is
+// a no-op; the run keeps its terminal state.
+func (m *Manager) Cancel(id string) (*run, bool) {
+	r, ok := m.Get(id)
+	if !ok {
+		return nil, false
+	}
+	r.mu.Lock()
+	if r.state == StateRunning {
+		r.state = StateCanceled
+		r.errMsg = "canceled by client"
+		r.bump()
+	}
+	r.mu.Unlock()
+	r.cancel()
+	return r, true
+}
+
+// wait returns the current stream position: NDJSON lines available
+// from index `from`, the terminal event if the run has finished, and
+// a channel that closes on the next state change. Stream handlers
+// loop: emit lines, emit terminal if done, otherwise wait on the
+// channel (or the client's context).
+func (r *run) wait(from int) (lines [][]byte, terminal *StreamEvent, changed <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := from; i < len(r.lines) && r.lines[i] != nil; i++ {
+		lines = append(lines, r.lines[i])
+	}
+	if r.state != StateRunning && from+len(lines) == r.terminalReadyLocked() {
+		terminal = &StreamEvent{
+			Index: len(r.norm.Names),
+			Total: len(r.norm.Names),
+			Done:  true,
+			State: r.state,
+			Error: r.errMsg,
+		}
+	}
+	return lines, terminal, r.changed
+}
+
+// terminalReadyLocked reports how many leading lines must have been
+// emitted before the terminal event may be sent: all of them if every
+// slot filled, otherwise the filled prefix (a canceled-while-queued
+// run has none). Callers hold r.mu.
+func (r *run) terminalReadyLocked() int {
+	n := 0
+	for ; n < len(r.lines) && r.lines[n] != nil; n++ {
+	}
+	return n
+}

@@ -1,0 +1,271 @@
+// Package serve wraps the experiment Suite in a long-running HTTP
+// service — the artifact pipeline as infrastructure instead of a
+// one-shot CLI. Clients POST a run request (profile, seed, selection,
+// jobs/shards), poll or stream its progress, and fetch the finished
+// report; cmd/dramscoped is the binary front-end.
+//
+// The service leans entirely on the suite's determinism contract: a
+// report is a pure function of (profile, seed, selection), so the
+// served bytes are exactly what `cmd/experiments -json` prints for
+// the same inputs (asserted against the golden fixture by the
+// package's tests), repeated requests are served from an LRU cache
+// keyed by the canonicalized request, and cache entries never expire.
+// Concurrent runs share one bounded worker budget; DELETE /runs/{id}
+// cancels through the suite's context plumbing. The HTTP surface is
+// documented in docs/api.md.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"dramscope/internal/expt"
+	"dramscope/internal/topo"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Budget is the worker-token pool shared by every concurrent run;
+	// <= 0 means GOMAXPROCS.
+	Budget int
+	// CacheSize is the result-cache capacity in entries; 0 means the
+	// default (64), negative disables caching.
+	CacheSize int
+	// Retain caps how many finished runs stay queryable before the
+	// oldest are evicted (404); 0 means the default (256). Running
+	// runs are never evicted.
+	Retain int
+	// Factory builds suites; nil means expt.DefaultSuite.
+	Factory SuiteFactory
+}
+
+// Server is the HTTP front-end. It implements http.Handler.
+type Server struct {
+	mgr     *Manager
+	factory SuiteFactory
+	mux     *http.ServeMux
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	factory := cfg.Factory
+	if factory == nil {
+		factory = expt.DefaultSuite
+	}
+	mgr := NewManager(factory, cfg.Budget, cfg.CacheSize)
+	if cfg.Retain != 0 {
+		mgr.retain = cfg.Retain
+	}
+	s := &Server{
+		mgr:     mgr,
+		factory: factory,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /profiles", s.handleProfiles)
+	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /runs", s.handleCreateRun)
+	s.mux.HandleFunc("GET /runs", s.handleListRuns)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleGetRun)
+	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
+	s.mux.HandleFunc("GET /runs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON writes v as an indented JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, a ...interface{}) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, a...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleProfiles serves the device catalog (paper Table I).
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	repr := make(map[string]bool)
+	for _, p := range topo.Representative() {
+		repr[p.Name] = true
+	}
+	var out []ProfileInfo
+	for _, p := range topo.Catalog() {
+		out = append(out, ProfileInfo{
+			Name:           p.Name,
+			Kind:           p.Kind,
+			Vendor:         p.Vendor,
+			ChipWidth:      p.ChipWidth,
+			Density:        p.Density,
+			Year:           p.Year,
+			Banks:          p.Banks,
+			Representative: repr[p.Name],
+			Default:        p.Name == expt.DefaultFigProfile,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleExperiments serves discovery metadata for every experiment the
+// suite registers, in registration order. ?profile= selects the
+// figure-experiment device (default expt.DefaultFigProfile) — it only
+// affects the reported device bindings, not the experiment set.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	profile := r.URL.Query().Get("profile")
+	if profile == "" {
+		profile = expt.DefaultFigProfile
+	}
+	suite, err := s.factory(profile, expt.DefaultSeed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, suite.Experiments())
+}
+
+// handleCreateRun admits a run: 202 Accepted for a freshly started
+// one, 200 OK when served from the result cache.
+func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	run, err := s.mgr.Start(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/runs/"+run.id)
+	status := http.StatusAccepted
+	if run.cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, run.status(false))
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	out := []RunStatus{}
+	for _, run := range s.mgr.Runs() {
+		out = append(out, run.status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) run(w http.ResponseWriter, r *http.Request) (*run, bool) {
+	id := r.PathValue("id")
+	run, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", id)
+		return nil, false
+	}
+	return run, true
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status(true))
+}
+
+func (s *Server) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	run, ok := s.mgr.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status(false))
+}
+
+// handleReport serves the finished report verbatim: the body is
+// byte-identical to `cmd/experiments -json` for the same (profile,
+// seed, selection) — and, for the default full-suite request, to the
+// committed golden fixture. 409 Conflict until the run finishes (or
+// if it was canceled and has no report).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	run.mu.Lock()
+	state, report := run.state, run.report
+	run.mu.Unlock()
+	if state == StateRunning {
+		writeError(w, http.StatusConflict, "run %s is still %s", run.id, state)
+		return
+	}
+	if state == StateCanceled || report == nil {
+		writeError(w, http.StatusConflict, "run %s was %s and has no report", run.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(report)
+}
+
+// handleStream serves NDJSON: one StreamEvent line per experiment, in
+// registration order, as results complete — then one terminal line
+// with "done":true and the run's final state. The connection stays
+// open until the run finishes or the client disconnects.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Push the headers immediately: a fresh run's first experiment can
+	// take minutes, and until the first flush the client would see
+	// zero bytes on the wire — indistinguishable from a hung server.
+	flush()
+
+	next := 0
+	for {
+		lines, terminal, changed := run.wait(next)
+		for _, line := range lines {
+			w.Write(line)
+			w.Write([]byte("\n"))
+		}
+		next += len(lines)
+		if len(lines) > 0 {
+			flush()
+		}
+		if terminal != nil {
+			data, _ := json.Marshal(terminal)
+			w.Write(data)
+			w.Write([]byte("\n"))
+			flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

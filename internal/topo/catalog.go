@@ -9,7 +9,8 @@ import "dramscope/internal/sim"
 // than an 8 Gb die) while preserving every structural relation the
 // paper reports — subarray compositions are verbatim, the coupled-row
 // distance remains exactly Nrow/2, and edge regions keep their
-// block-relative positions. DESIGN.md §1 records this substitution.
+// block-relative positions. README.md ("Model notes and known
+// deviations") records this substitution.
 
 // Subarray pattern blocks, verbatim from Table III.
 var (
