@@ -8,17 +8,22 @@
 #   make serve   - boot the HTTP run service (cmd/dramscoped)
 #   make golden  - regenerate the golden-report fixture after an
 #                  intentional output change (review the diff!)
+#   make clean-store - delete the local probe-artifact store
+#                  (STORE_DIR, default ./dramscope-store); do this after
+#                  changing probe code without bumping ProbeSchemaVersion
 #
 # SUITE_FLAGS passes through to cmd/experiments, e.g.
 #   make suite SUITE_FLAGS='-run fig12,fig14 -jobs 8 -shards 32 -json out.json'
+#   make suite SUITE_FLAGS='-run all -store dramscope-store'  # warm runs skip probing
 # SERVE_FLAGS passes through to cmd/dramscoped, e.g.
-#   make serve SERVE_FLAGS='-addr :9000 -budget 8 -cache 128'
+#   make serve SERVE_FLAGS='-addr :9000 -budget 8 -cache 128 -store dramscope-store'
 
 GO ?= go
 SUITE_FLAGS ?= -run all
 SERVE_FLAGS ?=
+STORE_DIR ?= dramscope-store
 
-.PHONY: build test race short bench suite serve vet golden
+.PHONY: build test race short bench suite serve vet golden clean-store
 
 build:
 	$(GO) build ./...
@@ -30,7 +35,7 @@ test: build vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
 
 short:
 	$(GO) test -short ./...
@@ -48,3 +53,9 @@ serve:
 # TestGoldenSuiteReport fails on any byte drift from it.
 golden:
 	$(GO) run ./cmd/experiments -run all -json internal/expt/testdata/suite_report.json > /dev/null
+
+# The store is a pure cache: deleting it is always safe (the next run
+# re-probes) and is the invalidation of last resort for dev builds,
+# whose entries share one "dev" fingerprint (see internal/store).
+clean-store:
+	rm -rf $(STORE_DIR)

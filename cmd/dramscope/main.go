@@ -4,8 +4,15 @@
 //
 // Usage:
 //
-//	dramscope [-profile NAME] [-seed N] [-swizzle]
+//	dramscope [-profile NAME] [-seed N] [-swizzle] [-store DIR]
 //	dramscope -list
+//
+// With -store DIR the recovered probe chain is persisted in the same
+// content-addressed artifact store cmd/experiments and cmd/dramscoped
+// use, keyed by (profile, seed, probe level): a repeated invocation —
+// or a suite run that happens to share the key — loads the results and
+// skips the probing entirely ("probe cost: none"). -store-readonly
+// serves hits without ever writing.
 package main
 
 import (
@@ -13,10 +20,10 @@ import (
 	"fmt"
 	"os"
 
-	"dramscope/internal/chip"
 	"dramscope/internal/core"
-	"dramscope/internal/host"
+	"dramscope/internal/expt"
 	"dramscope/internal/stats"
+	"dramscope/internal/store"
 	"dramscope/internal/topo"
 )
 
@@ -25,13 +32,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fault-map seed")
 	list := flag.Bool("list", false, "list available device profiles")
 	swizzle := flag.Bool("swizzle", false, "also reverse-engineer the data swizzle (slower)")
+	storeDir := flag.String("store", "", "persistent probe-artifact store directory (optional)")
+	storeRO := flag.Bool("store-readonly", false, "open -store read-only: serve hits, never write")
 	flag.Parse()
 
 	if *list {
 		fmt.Print(expandedCatalog())
 		return
 	}
-	if err := run(*profile, *seed, *swizzle); err != nil {
+	if err := run(*profile, *seed, *swizzle, *storeDir, *storeRO); err != nil {
 		fmt.Fprintln(os.Stderr, "dramscope:", err)
 		os.Exit(1)
 	}
@@ -45,26 +54,43 @@ func expandedCatalog() string {
 	return t.String()
 }
 
-func run(name string, seed uint64, withSwizzle bool) error {
+func run(name string, seed uint64, withSwizzle bool, storeDir string, storeRO bool) error {
 	prof, ok := topo.ByName(name)
 	if !ok {
 		return fmt.Errorf("unknown profile %q (try -list)", name)
 	}
-	c, err := chip.New(prof, seed)
+	st, err := store.OpenDir(storeDir, storeRO)
 	if err != nil {
 		return err
 	}
-	h := host.New(c)
-	fmt.Printf("Probing %s (bank 0, %d rows x %d cols x %d-bit bursts)\n\n",
-		prof.Name, h.Rows(), h.Columns(), h.DataWidth())
 
-	ro, err := core.ProbeRowOrder(h, 0)
+	e, err := expt.NewEnv(prof, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Probing %s (bank 0, %d rows x %d cols x %d-bit bursts)\n\n",
+		prof.Name, e.Host.Rows(), e.Host.Columns(), e.Host.DataWidth())
+
+	level := expt.ProbeCells
+	if withSwizzle {
+		level = expt.ProbeSwizzle
+	}
+	if err := e.WarmStored(st, level); err != nil {
+		return err
+	}
+	if cost := e.Commands(); cost.Total() == 0 {
+		fmt.Println("probe cost: none (loaded from store)")
+	} else {
+		fmt.Printf("probe cost: %s\n", cost)
+	}
+
+	ro, err := e.Order()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Row order: remapped=%v LUT=%v\n", ro.Remapped(), ro.LUT)
 
-	sub, err := core.ProbeSubarrays(h, 0, ro, core.DefaultSubarrayScan)
+	sub, err := e.Subarrays()
 	if err != nil {
 		return err
 	}
@@ -75,7 +101,15 @@ func run(name string, seed uint64, withSwizzle bool) error {
 	fmt.Printf("  edge region: %d subarrays; region gaps at %v\n",
 		sub.EdgeRegionSubarrays, sub.RegionEdges)
 
-	coupled, err := core.ProbeCoupledRows(h, 0, ro)
+	// The coupled-row probe is not part of the persisted chain, so it
+	// runs on a pristine clone: fresh device, probe cache primed from
+	// above. That makes its output a pure function of (profile, seed) —
+	// identical whether the chain was probed or loaded.
+	mc, err := e.Clone()
+	if err != nil {
+		return err
+	}
+	coupled, err := core.ProbeCoupledRows(mc.Host, mc.Bank, ro)
 	if err != nil {
 		return err
 	}
@@ -85,7 +119,7 @@ func run(name string, seed uint64, withSwizzle bool) error {
 		fmt.Println("Coupled rows: none detected")
 	}
 
-	pol, err := core.ProbeCellPolarity(h, 0, sub)
+	pol, err := e.Cells()
 	if err != nil {
 		return err
 	}
@@ -93,7 +127,7 @@ func run(name string, seed uint64, withSwizzle bool) error {
 		pol.Interleaved, headBool(pol.AntiBySubarray, 6))
 
 	if withSwizzle {
-		sm, err := core.ProbeSwizzle(h, 0, ro, sub, pol)
+		sm, err := e.Swizzle()
 		if err != nil {
 			return err
 		}

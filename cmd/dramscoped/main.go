@@ -11,10 +11,17 @@
 //
 //	dramscoped -addr :8077
 //	dramscoped -addr 127.0.0.1:8077 -budget 8 -cache 128
+//	dramscoped -addr :8077 -store dramscope-store
 //
 // -budget bounds the worker tokens shared by all concurrent runs;
 // -cache sizes the LRU result cache (entries; determinism makes
-// entries immortal, so capacity is the only eviction).
+// entries immortal, so capacity is the only eviction). -store backs
+// the LRU with a persistent on-disk artifact store: finished reports
+// and recovered probe chains survive restarts and are shared with
+// other server processes and cmd/experiments runs pointing at the
+// same directory (cmd/dramscope shares the directory and key scheme
+// too; its entries are reused when the keys genuinely match — see the
+// README's store section).
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"dramscope/internal/serve"
+	"dramscope/internal/store"
 )
 
 func main() {
@@ -36,18 +44,23 @@ func main() {
 	budget := flag.Int("budget", 0, "worker tokens shared across concurrent runs (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default 64, negative = disabled)")
 	retain := flag.Int("retain", 0, "finished runs kept queryable before the oldest are evicted (0 = default 256)")
+	storeDir := flag.String("store", "", "persistent probe-artifact store directory backing the LRU (optional)")
 	flag.Parse()
 
-	if err := run(*addr, *budget, *cacheSize, *retain); err != nil {
+	if err := run(*addr, *budget, *cacheSize, *retain, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "dramscoped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, budget, cacheSize, retain int) error {
+func run(addr string, budget, cacheSize, retain int, storeDir string) error {
+	st, err := store.OpenDir(storeDir, false)
+	if err != nil {
+		return err
+	}
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: serve.New(serve.Config{Budget: budget, CacheSize: cacheSize, Retain: retain}),
+		Handler: serve.New(serve.Config{Budget: budget, CacheSize: cacheSize, Retain: retain, Store: st}),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

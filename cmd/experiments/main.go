@@ -11,8 +11,18 @@
 //	experiments -run table1,table3,fig5,fig7,fig8,fig10,fig12,fig14,fig15,fig16,defense,scrambler
 //	experiments -run all -profile MfrA-DDR4-x4-2021 -jobs 8
 //	experiments -json results.json -csv outdir
+//	experiments -run all -store dramscope-store   # warm runs skip the probe chain
 //	experiments -progress
 //	experiments -list
+//
+// With -store DIR, recovered probe chains are persisted in a
+// content-addressed artifact store keyed by (profile, seed, probe
+// level): the first run pays the reverse-engineering cost, later runs
+// load the results and skip straight to measurement with a
+// byte-identical report (-progress then shows "probe cost: none").
+// -store-readonly serves hits without ever writing, for CI
+// determinism checks. See the README's "Persistent artifact store"
+// section.
 package main
 
 import (
@@ -23,8 +33,10 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dramscope/internal/expt"
+	"dramscope/internal/store"
 )
 
 func main() {
@@ -36,6 +48,8 @@ func main() {
 	jsonPath := flag.String("json", "", "file for the machine-readable JSON report (optional)")
 	csvDir := flag.String("csv", "", "directory for CSV result files (optional)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr (stdout stays byte-stable)")
+	storeDir := flag.String("store", "", "persistent probe-artifact store directory; warm runs skip the probe chain (optional)")
+	storeRO := flag.Bool("store-readonly", false, "open -store read-only: serve hits, never write (CI determinism checks)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -51,13 +65,13 @@ func main() {
 		stop()
 	}()
 
-	if err := run(ctx, *runList, *profile, *seed, *jobs, *shards, *jsonPath, *csvDir, *progress, *list); err != nil {
+	if err := run(ctx, *runList, *profile, *seed, *jobs, *shards, *jsonPath, *csvDir, *storeDir, *storeRO, *progress, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards int, jsonPath, csvDir string, progress, list bool) error {
+func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards int, jsonPath, csvDir, storeDir string, storeRO, progress, list bool) error {
 	suite, err := expt.DefaultSuite(profile, seed)
 	if err != nil {
 		return err
@@ -67,6 +81,10 @@ func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards
 			fmt.Println(name)
 		}
 		return nil
+	}
+	st, err := store.OpenDir(storeDir, storeRO)
+	if err != nil {
+		return err
 	}
 
 	var only []string
@@ -88,7 +106,7 @@ func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards
 		return fmt.Errorf("empty -run selection (use -list for experiment ids)")
 	}
 
-	opt := expt.Options{Jobs: jobs, Shards: shards, Only: only, Context: ctx}
+	opt := expt.Options{Jobs: jobs, Shards: shards, Only: only, Context: ctx, Store: st}
 	if progress {
 		// Progress is out-of-band on stderr so the deterministic
 		// report on stdout stays byte-identical with or without it.
@@ -97,12 +115,22 @@ func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards
 			if res.Err != nil {
 				state = res.Err.Error()
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", index+1, total, res.Name, state)
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s (%s)\n", index+1, total, res.Name, state,
+				res.Elapsed.Round(time.Millisecond))
 		}
 	}
 	rep, err := suite.Run(opt)
 	if err != nil {
 		return err
+	}
+	if progress {
+		// The probe bill for this run: zero on a fully store-warmed
+		// run (the line CI's warm-store job asserts on).
+		if cost := suite.ProbeCost(); cost.Total() == 0 {
+			fmt.Fprintln(os.Stderr, "probe cost: none")
+		} else {
+			fmt.Fprintf(os.Stderr, "probe cost: %s\n", cost)
+		}
 	}
 	fmt.Print(rep.Text())
 

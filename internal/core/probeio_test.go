@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func validState() *ProbeState {
+	return &ProbeState{
+		Order: &RowOrder{LUT: [4]int{0, 1, 3, 2}},
+		Subarrays: &SubarrayLayout{
+			ScannedRows: 1024, Boundaries: []int{511}, Heights: []int{512},
+			OpenBitline: true, InvertedCopy: true, EdgeRegionSubarrays: 2,
+		},
+		Cells: &CellPolarity{AntiBySubarray: []bool{false, true}, Interleaved: true},
+		Swizzle: &SwizzleMap{
+			ColumnStride: 1,
+			Components:   [][]int{{0, 1}, {2, 3}},
+			Orders:       [][]int{{1, 0}, {2, 3}},
+			Parity:       []int{0, 1, 0, 1},
+			MATWidthBits: 128, BitsPerMAT: 2,
+		},
+	}
+}
+
+func TestProbeStateRoundTrip(t *testing.T) {
+	t.Parallel()
+	// Full chain and every shorter prefix round-trip losslessly.
+	full := validState()
+	states := []*ProbeState{
+		{Order: full.Order},
+		{Order: full.Order, Subarrays: full.Subarrays},
+		{Order: full.Order, Subarrays: full.Subarrays, Cells: full.Cells},
+		full,
+	}
+	for i, ps := range states {
+		data, err := EncodeProbeState(ps)
+		if err != nil {
+			t.Fatalf("prefix %d: encode: %v", i, err)
+		}
+		got, err := DecodeProbeState(data)
+		if err != nil {
+			t.Fatalf("prefix %d: decode: %v", i, err)
+		}
+		re, err := EncodeProbeState(got)
+		if err != nil {
+			t.Fatalf("prefix %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(data, re) {
+			t.Errorf("prefix %d: round trip not stable:\nfirst:  %s\nsecond: %s", i, data, re)
+		}
+	}
+}
+
+func TestProbeStateRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	if _, err := DecodeProbeState([]byte(`{"version":999}`)); err == nil {
+		t.Error("future schema version decoded")
+	}
+	if _, err := DecodeProbeState([]byte(`{"version":1`)); err == nil {
+		t.Error("truncated JSON decoded")
+	}
+
+	// Chain-prefix and structural violations fail validation.
+	for name, mutate := range map[string]func(*ProbeState){
+		"swizzle-without-cells": func(ps *ProbeState) { ps.Cells = nil },
+		"cells-without-layout":  func(ps *ProbeState) { ps.Subarrays = nil; ps.Swizzle = nil },
+		"lut-not-permutation":   func(ps *ProbeState) { ps.Order.LUT = [4]int{0, 0, 3, 2} },
+		"boundary-out-of-range": func(ps *ProbeState) { ps.Subarrays.Boundaries = []int{4096} },
+		"polarity-count":        func(ps *ProbeState) { ps.Cells.AntiBySubarray = []bool{true} },
+		"parity-uneven":         func(ps *ProbeState) { ps.Swizzle.Parity = []int{0, 0, 0, 1} },
+		"order-not-permutation": func(ps *ProbeState) { ps.Swizzle.Orders[0] = []int{0, 0} },
+	} {
+		ps := validState()
+		mutate(ps)
+		if err := ps.Validate(); err == nil {
+			t.Errorf("%s: invalid state passed validation", name)
+		}
+		if _, err := EncodeProbeState(ps); err == nil {
+			t.Errorf("%s: invalid state encoded", name)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package expt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dramscope/internal/core"
+	"dramscope/internal/store"
+	"dramscope/internal/topo"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// encodeExport snapshots an Env's probe chain for comparison.
+func encodeExport(t *testing.T, e *Env, level ProbeLevel) []byte {
+	t.Helper()
+	ps, ok := e.ExportProbes(level)
+	if !ok {
+		t.Fatal("export of a warmed env failed")
+	}
+	data, err := core.EncodeProbeState(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestWarmStoredRoundTrip is the store fast path end to end: a cold
+// env probes and persists, a fresh env with the same (profile, seed)
+// loads the identical chain while issuing zero commands.
+func TestWarmStoredRoundTrip(t *testing.T) {
+	t.Parallel()
+	st := openStore(t)
+	prof := topo.Small()
+
+	cold, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.WarmStored(st, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Commands().Total() == 0 {
+		t.Fatal("cold warm-up issued no commands; counters broken?")
+	}
+	coldState := encodeExport(t, cold, ProbeSubarrays)
+
+	warm, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.WarmStored(st, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Commands(); got.Total() != 0 {
+		t.Fatalf("warm run issued probe commands: %s", got)
+	}
+	if warmState := encodeExport(t, warm, ProbeSubarrays); !bytes.Equal(warmState, coldState) {
+		t.Fatalf("store-loaded chain differs:\ncold: %s\nwarm: %s", coldState, warmState)
+	}
+
+	// A different seed is a different key: it must probe, not hit.
+	other, err := NewEnv(prof, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.WarmStored(st, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	if other.Commands().Total() == 0 {
+		t.Fatal("different seed was served from the store")
+	}
+}
+
+// TestWarmStoredCorruptFallsBack corrupts the persisted entry and
+// checks the warm-up degrades to probing — with a chain identical to
+// the cold one — instead of failing or loading garbage.
+func TestWarmStoredCorruptFallsBack(t *testing.T) {
+	t.Parallel()
+	st := openStore(t)
+	prof := topo.Small()
+
+	cold, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.WarmStored(st, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	coldState := encodeExport(t, cold, ProbeSubarrays)
+
+	// Truncate every entry in the store directory.
+	err = filepath.WalkDir(st.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.Truncate(path, 10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.WarmStored(st, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Commands().Total() == 0 {
+		t.Fatal("corrupt entry was served as a hit")
+	}
+	if warmState := encodeExport(t, warm, ProbeSubarrays); !bytes.Equal(warmState, coldState) {
+		t.Fatal("re-probed chain differs from the cold one")
+	}
+
+	// The re-probe healed the store: a third env hits cleanly.
+	third, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := third.WarmStored(st, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	if got := third.Commands(); got.Total() != 0 {
+		t.Fatalf("healed store missed: %s", got)
+	}
+}
+
+// TestWarmStoredLevelCrossing checks entries are reused across chain
+// depths: a deeper entry serves a shallower request outright, and a
+// shallower entry primes the prefix so only the missing tail probes.
+func TestWarmStoredLevelCrossing(t *testing.T) {
+	t.Parallel()
+	prof := topo.Small()
+
+	// Baseline: the full cost of a cold Subarrays-level warm-up.
+	cold, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Warm(ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	fullCost := cold.Commands().Total()
+	coldState := encodeExport(t, cold, ProbeSubarrays)
+
+	// Deeper entry serves a shallower request: save at Subarrays, ask
+	// for Order — zero commands.
+	deep := openStore(t)
+	seed, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.WarmStored(deep, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shallow.WarmStored(deep, ProbeOrder); err != nil {
+		t.Fatal(err)
+	}
+	if got := shallow.Commands(); got.Total() != 0 {
+		t.Fatalf("deeper entry did not serve a shallower request: %s", got)
+	}
+
+	// Shallower entry primes the prefix: save at Order, ask for
+	// Subarrays — cheaper than a full cold warm-up, same chain.
+	prefix := openStore(t)
+	orderOnly, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orderOnly.WarmStored(prefix, ProbeOrder); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partial.WarmStored(prefix, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	partialCost := partial.Commands().Total()
+	if partialCost == 0 || partialCost >= fullCost {
+		t.Fatalf("prefix-primed warm-up cost %d commands, want between 1 and %d", partialCost, fullCost-1)
+	}
+	if got := encodeExport(t, partial, ProbeSubarrays); !bytes.Equal(got, coldState) {
+		t.Fatal("prefix-primed chain differs from the cold one")
+	}
+	// And the tail probe persisted the deeper entry for the next run.
+	full, err := NewEnv(prof, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.WarmStored(prefix, ProbeSubarrays); err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Commands(); got.Total() != 0 {
+		t.Fatalf("tail probe did not persist the deeper entry: %s", got)
+	}
+}
+
+// TestSuiteStoreByteIdentity is the contract in miniature: with or
+// without a store, cold or warm, the suite's text and JSON reports are
+// byte-identical — and the warm run's shared devices issue zero probe
+// commands.
+func TestSuiteStoreByteIdentity(t *testing.T) {
+	t.Parallel()
+	ref := runSmall(t, 7, 4, nil)
+	refText := ref.Text()
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := openStore(t)
+	coldSuite := smallSuite(t, 7, nil)
+	coldRep, err := coldSuite.Run(Options{Jobs: 4, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coldRep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if coldSuite.ProbeCost().Total() == 0 {
+		t.Fatal("cold suite issued no probe commands; counters broken?")
+	}
+	if got := coldRep.Text(); got != refText {
+		t.Errorf("cold store run changed the text report:\n--- no store ---\n%s--- store ---\n%s", refText, got)
+	}
+
+	warmSuite := smallSuite(t, 7, nil)
+	warmRep, err := warmSuite.Run(Options{Jobs: 4, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warmRep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cost := warmSuite.ProbeCost(); cost.Total() != 0 {
+		t.Fatalf("warm suite issued probe commands: %s", cost)
+	}
+	if got := warmRep.Text(); got != refText {
+		t.Errorf("warm store run changed the text report:\n--- no store ---\n%s--- store ---\n%s", refText, got)
+	}
+	warmJSON, err := warmRep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warmJSON, refJSON) {
+		t.Error("warm store run changed the JSON report")
+	}
+
+	// Read-only on the same directory still hits.
+	ro, err := store.OpenReadOnly(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roSuite := smallSuite(t, 7, nil)
+	roRep, err := roSuite.Run(Options{Jobs: 4, Store: ro})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roRep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cost := roSuite.ProbeCost(); cost.Total() != 0 {
+		t.Fatalf("read-only warm suite issued probe commands: %s", cost)
+	}
+	if got := roRep.Text(); got != refText {
+		t.Error("read-only store run changed the text report")
+	}
+}
+
+// TestStoreConcurrentSuites races two whole suites against one shared
+// store directory — the two-concurrent-processes scenario, in-process
+// so the race detector can see it. Both must finish with reports
+// byte-identical to the no-store reference, regardless of who wins the
+// write races.
+func TestStoreConcurrentSuites(t *testing.T) {
+	t.Parallel()
+	ref := runSmall(t, 7, 4, nil)
+	refText := ref.Text()
+
+	st := openStore(t)
+	suites := []*Suite{smallSuite(t, 7, nil), smallSuite(t, 7, nil)}
+	reps := make([]*Report, len(suites))
+	errs := make([]error, len(suites))
+	var wg sync.WaitGroup
+	for i := range suites {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = suites[i].Run(Options{Jobs: 2, Store: st})
+		}(i)
+	}
+	wg.Wait()
+	for i := range suites {
+		if errs[i] != nil {
+			t.Fatalf("suite %d: %v", i, errs[i])
+		}
+		if err := reps[i].Err(); err != nil {
+			t.Fatalf("suite %d: %v", i, err)
+		}
+		if got := reps[i].Text(); got != refText {
+			t.Errorf("suite %d text differs from the no-store reference", i)
+		}
+	}
+
+	// And the store is warm for whoever comes next.
+	after := smallSuite(t, 7, nil)
+	if _, err := after.Run(Options{Jobs: 2, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	if cost := after.ProbeCost(); cost.Total() != 0 {
+		t.Fatalf("store not warm after concurrent suites: %s", cost)
+	}
+}
+
+// TestGoldenWarmStore is the acceptance gate for the artifact store:
+// against the committed golden fixture, a cold store-backed full-suite
+// run and a warm one (fresh Suite, different jobs/shards) must both
+// produce the fixture's exact bytes, and the warm run must issue zero
+// probe commands. It shares the golden tests' cost profile, so it
+// skips in -short mode and under the race detector.
+func TestGoldenWarmStore(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("two full-suite runs (~2 min)")
+	}
+	if raceEnabled {
+		t.Skip("full suite under -race exceeds the CI budget; TestStoreConcurrentSuites covers the store's concurrency")
+	}
+	want, err := os.ReadFile("testdata/suite_report.json")
+	if err != nil {
+		t.Fatalf("missing fixture (run `make golden`): %v", err)
+	}
+	st := openStore(t)
+
+	cold, err := DefaultSuite(DefaultFigProfile, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRep, err := cold.Run(Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coldRep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, err := coldRep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, want) {
+		t.Fatal("cold store-backed report diverges from the golden fixture; regenerate with `make golden` if intentional")
+	}
+
+	warm, err := DefaultSuite(DefaultFigProfile, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRep, err := warm.Run(Options{Jobs: 3, Shards: 5, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warmRep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cost := warm.ProbeCost(); cost.Total() != 0 {
+		t.Fatalf("warm full-suite run issued probe commands: %s", cost)
+	}
+	warmJSON, err := warmRep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warmJSON, want) {
+		t.Fatal("warm store-backed report diverges from the golden fixture")
+	}
+	if warmRep.Text() != coldRep.Text() {
+		t.Fatal("warm text report diverges from the cold one")
+	}
+}

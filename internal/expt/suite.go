@@ -9,10 +9,13 @@
 //     from the suite seed by name (rng.Split) — never from shared
 //     generator state;
 //   - experiments that share a device (Needs.Device) run serially in
-//     registration order on one shared Env, whose probe chain is
-//     warmed to the deepest level any of them declares before the
-//     first one measures — so the device's command history does not
-//     depend on scheduling;
+//     registration order against one shared Env, whose probe chain is
+//     warmed to the deepest level any of them declares (through the
+//     artifact store, when one is configured) before the first one
+//     measures; each then measures on its own pristine clone of that
+//     Env — fresh device state, probe cache primed read-only — so no
+//     measurement can observe another's (or the probes') residue, and
+//     a store-warmed run is byte-identical to a freshly probed one;
 //   - experiments on different devices touch disjoint state and may
 //     interleave freely;
 //   - partitioned experiments (Partition) shard below the device
@@ -33,9 +36,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"dramscope/internal/host"
 	"dramscope/internal/rng"
 	"dramscope/internal/stats"
+	"dramscope/internal/store"
 	"dramscope/internal/topo"
 )
 
@@ -58,8 +64,10 @@ type Needs struct {
 }
 
 // Job is the handle an Experiment's Run receives: its split seed, its
-// shared Env (if any), its output buffer, and the results of its
-// dependencies.
+// device Env (if any — a pristine, probe-primed clone of the device's
+// shared Env for a Run, the shared Env itself for a Partition's
+// Merge, which must not issue commands), its output buffer, and the
+// results of its dependencies.
 type Job struct {
 	name  string
 	seed  uint64
@@ -80,7 +88,11 @@ func (j *Job) Name() string { return j.name }
 // selection subsets.
 func (j *Job) Seed() uint64 { return j.seed }
 
-// Env returns the shared device Env (nil unless Needs.Device is set).
+// Env returns the device Env (nil unless Needs.Device is set). For a
+// monolithic Run it is a pristine clone of the device's shared Env —
+// probe results read from its cache, commands drive a fresh device.
+// For a Partition's Merge it is the shared Env itself and must be
+// treated as read-only.
 func (j *Job) Env() *Env { return j.env }
 
 // Printf appends a line-oriented message to the experiment's output
@@ -144,6 +156,15 @@ type ExptResult struct {
 	Text   string // rendered block body (no title line)
 	Tables []RenderedTable
 	Err    error
+
+	// Elapsed is the experiment's wall time: for a monolithic
+	// experiment the span of its Run, for a partitioned one the span
+	// from its first shard starting to its merge completing. It is
+	// out-of-band metadata for progress reporting (OnResult, -progress,
+	// the service's stream events) and is deliberately excluded from
+	// MarshalJSON — wall time in the report would break the
+	// byte-identical-for-a-fixed-seed contract.
+	Elapsed time.Duration
 }
 
 // MarshalJSON renders one result exactly like the corresponding entry
@@ -235,6 +256,7 @@ type Suite struct {
 	profiles map[string]topo.Profile
 	ran      bool
 	ctx      context.Context // set by Run; never nil while running
+	store    *store.Store    // set by Run; may be nil
 
 	mu      sync.Mutex
 	envs    map[string]*Env
@@ -418,6 +440,22 @@ func (s *Suite) env(device string) (*Env, error) {
 	return e, nil
 }
 
+// ProbeCost aggregates the command totals of every shared device Env
+// the run created. Only the probe chain ever drives those Envs'
+// hosts (measurements run on clones, which carry their own counters),
+// so the sum is exactly what reverse engineering cost this run — and
+// it is zero when every device warm-up was served from the store.
+// Out-of-band metadata: it never appears in the report.
+func (s *Suite) ProbeCost() host.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total host.Counters
+	for _, e := range s.envs {
+		total = total.Add(e.Commands())
+	}
+	return total
+}
+
 // Options configures one Suite run.
 type Options struct {
 	// Jobs is the worker count; <= 0 means GOMAXPROCS.
@@ -442,10 +480,20 @@ type Options struct {
 	// experiments. Calls arrive from worker goroutines — concurrently
 	// and in completion order, not registration order; reorder by index
 	// if order matters. The *ExptResult is the same object the Report
-	// will hold and must be treated as read-only. The callback is for
-	// out-of-band progress (logs, streams, metrics); the report itself
-	// stays byte-identical whether or not one is installed.
+	// will hold and must be treated as read-only; its Elapsed field
+	// carries the experiment's wall time, out-of-band. The callback is
+	// for progress (logs, streams, metrics); the report itself stays
+	// byte-identical whether or not one is installed.
 	OnResult func(index, total int, res *ExptResult)
+	// Store, when non-nil, is the persistent probe-artifact store the
+	// pre-measurement warm-up consults: a hit primes a device Env's
+	// probe cache instead of probing (skipping straight to
+	// measurement), a miss probes and then persists the result for the
+	// next run. A store hit can never change a byte of the report —
+	// measurements always run on pristine clones of the warmed Env, and
+	// a store-primed Env is indistinguishable from a freshly probed one
+	// by construction.
+	Store *store.Store
 }
 
 // unitOut is one unit's outcome in a partitioned experiment. Shard
@@ -460,6 +508,18 @@ type unitOut struct {
 // partState is the shared state of one partitioned experiment's nodes.
 type partState struct {
 	outs []unitOut
+
+	// start is when the first shard node began executing; the visible
+	// node's Elapsed spans from here through the merge, so the metric
+	// covers the fanned-out work, not just the cheap merge step.
+	startOnce sync.Once
+	start     time.Time
+}
+
+// began records the partition's start once, from whichever shard node
+// runs first.
+func (st *partState) began(t time.Time) {
+	st.startOnce.Do(func() { st.start = t })
 }
 
 // node is one scheduled step: an experiment, or a hidden shard of a
@@ -504,6 +564,7 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 	if s.ctx == nil {
 		s.ctx = context.Background()
 	}
+	s.store = opt.Store
 	jobs := opt.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -604,6 +665,22 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 // including a panicking Run or Unit, which must not take down the pool
 // and lose every other experiment's output.
 func (s *Suite) runNode(n *node) {
+	started := time.Now()
+	if n.shard != nil {
+		n.shard.state.began(started)
+	}
+	defer func() {
+		if n.res != nil && !n.hidden {
+			// Partitioned experiments span from their first shard; a
+			// partition canceled before any shard ran falls back to the
+			// merge node's own span.
+			if n.part != nil && !n.part.start.IsZero() {
+				n.res.Elapsed = time.Since(n.part.start)
+			} else {
+				n.res.Elapsed = time.Since(started)
+			}
+		}
+	}()
 	n.res = &ExptResult{Name: n.exp.Name, Title: n.exp.Title}
 	if err := s.ctx.Err(); err != nil {
 		// Canceled before this step started. Shard nodes record the
@@ -631,8 +708,11 @@ func (s *Suite) runNode(n *node) {
 			// Warm to the deepest level any selected experiment on
 			// this device declared (set during planning), so the
 			// device's probe history is fixed before the first
-			// measurement.
-			err = env.Warm(n.exp.Needs.Probe)
+			// measurement. With a store configured, a hit primes the
+			// cache instead of probing — the shared Env then issues
+			// zero probe commands and measurements (which always run
+			// on pristine clones) cannot tell the difference.
+			err = env.WarmStored(s.store, n.exp.Needs.Probe)
 		}
 		if err != nil {
 			if n.shard != nil {
@@ -666,6 +746,23 @@ func (s *Suite) runNode(n *node) {
 		// Visible node of a partitioned experiment: merge.
 		s.runMerge(n)
 	default:
+		if env != nil {
+			// Measurements never run on the shared Env: each
+			// experiment gets a pristine clone — fresh device state,
+			// probe cache primed read-only from the warmed parent —
+			// exactly like a partitioned experiment's units. This is
+			// what makes the report independent of the shared device's
+			// command history, and therefore byte-identical between a
+			// freshly probed and a store-warmed run: in both cases the
+			// experiment sees a just-powered-on device plus the same
+			// (pure-function) probe results.
+			me, err := env.Clone()
+			if err != nil {
+				n.res.Err = err
+				return
+			}
+			j.env = me
+		}
 		if err := runProtected(n.exp.Run, j); err != nil {
 			n.res.Err = err
 			return

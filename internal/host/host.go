@@ -12,6 +12,7 @@ package host
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dramscope/internal/sim"
 )
@@ -30,10 +31,54 @@ type Target interface {
 	Timing() sim.Timing
 }
 
+// Counters is a snapshot of the DRAM command totals a Host has issued
+// since it was created: the command-level cost of whatever drove it.
+// Probe-cost accounting (and the "a warm store run issues zero probe
+// commands" assertion) is built on these totals. Hammer and Press
+// count each of their n activate/precharge pulses individually, so ACT
+// reflects the true activation count — the quantity an activation
+// budget would meter.
+type Counters struct {
+	ACT int64
+	PRE int64
+	RD  int64
+	WR  int64
+	REF int64
+}
+
+// Total sums all command counts.
+func (c Counters) Total() int64 { return c.ACT + c.PRE + c.RD + c.WR + c.REF }
+
+// Add returns the per-command sum of two snapshots.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		ACT: c.ACT + o.ACT,
+		PRE: c.PRE + o.PRE,
+		RD:  c.RD + o.RD,
+		WR:  c.WR + o.WR,
+		REF: c.REF + o.REF,
+	}
+}
+
+// String renders the snapshot as "ACT=n PRE=n RD=n WR=n REF=n".
+func (c Counters) String() string {
+	return fmt.Sprintf("ACT=%d PRE=%d RD=%d WR=%d REF=%d", c.ACT, c.PRE, c.RD, c.WR, c.REF)
+}
+
 // Host issues timed command sequences against a target.
 type Host struct {
 	t  Target
 	at sim.Time
+
+	// Command totals. Atomic so concurrent readers (progress
+	// reporting, tests) can snapshot while a probe is driving the
+	// device; the issuing side itself is serialized by the probe
+	// chain / suite scheduler.
+	nACT atomic.Int64
+	nPRE atomic.Int64
+	nRD  atomic.Int64
+	nWR  atomic.Int64
+	nREF atomic.Int64
 }
 
 // New wraps a target.
@@ -43,6 +88,35 @@ func New(t Target) *Host {
 
 // Target returns the wrapped device.
 func (h *Host) Target() Target { return h.t }
+
+// Counters returns a snapshot of the command totals issued through
+// this host, including the expanded ACT/PRE pulses of Hammer and
+// Press. Safe for concurrent use.
+func (h *Host) Counters() Counters {
+	return Counters{
+		ACT: h.nACT.Load(),
+		PRE: h.nPRE.Load(),
+		RD:  h.nRD.Load(),
+		WR:  h.nWR.Load(),
+		REF: h.nREF.Load(),
+	}
+}
+
+// count records one issued command by opcode.
+func (h *Host) count(op sim.Op, n int64) {
+	switch op {
+	case sim.ACT:
+		h.nACT.Add(n)
+	case sim.PRE:
+		h.nPRE.Add(n)
+	case sim.RD:
+		h.nRD.Add(n)
+	case sim.WR:
+		h.nWR.Add(n)
+	case sim.REF:
+		h.nREF.Add(n)
+	}
+}
 
 // Rows, Columns, DataWidth forward the target geometry.
 func (h *Host) Rows() int      { return h.t.Rows() }
@@ -54,6 +128,7 @@ func (h *Host) Now() sim.Time { return h.at }
 
 func (h *Host) exec(cmd sim.Command) (uint64, error) {
 	cmd.At = h.at
+	h.count(cmd.Op, 1)
 	return h.t.Exec(cmd)
 }
 
@@ -175,6 +250,8 @@ func (h *Host) Hammer(bank, row, n int) error {
 	if err := h.t.Pulse(bank, row, n, tm.TRAS, tm.TRP); err != nil {
 		return err
 	}
+	h.count(sim.ACT, int64(n))
+	h.count(sim.PRE, int64(n))
 	h.at = h.t.Now()
 	return nil
 }
@@ -189,6 +266,8 @@ func (h *Host) Press(bank, row, n int, tOn sim.Time) error {
 	if err := h.t.Pulse(bank, row, n, tOn, tm.TRP); err != nil {
 		return err
 	}
+	h.count(sim.ACT, int64(n))
+	h.count(sim.PRE, int64(n))
 	h.at = h.t.Now()
 	return nil
 }

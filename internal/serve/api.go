@@ -146,9 +146,15 @@ type StreamEvent struct {
 	// shape of the corresponding entry of the report's "experiments"
 	// array.
 	Experiment *expt.ExptResult `json:"experiment,omitempty"`
-	Done       bool             `json:"done,omitempty"`
-	State      string           `json:"state,omitempty"`
-	Error      string           `json:"error,omitempty"`
+	// ElapsedMS is the experiment's wall time in milliseconds,
+	// as measured on the run that actually executed it. It is
+	// out-of-band metadata: replayed cache hits carry the producing
+	// run's timing, entries rehydrated from the persistent store carry
+	// none, and the report itself never contains it.
+	ElapsedMS float64 `json:"elapsedMs,omitempty"`
+	Done      bool    `json:"done,omitempty"`
+	State     string  `json:"state,omitempty"`
+	Error     string  `json:"error,omitempty"`
 }
 
 // ProfileInfo is one entry of GET /profiles: the Table I metadata of a

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"dramscope/internal/expt"
+	"dramscope/internal/store"
 )
 
 // SuiteFactory builds a fresh, unrun Suite for one (profile, seed)
@@ -29,6 +31,13 @@ type Manager struct {
 	// contract), so admission timing can never change a result.
 	budget chan struct{}
 	cache  *resultCache
+
+	// artifacts, when non-nil, is the persistent store backing the
+	// in-memory LRU: finished reports are written through to it, LRU
+	// misses consult it before executing a suite, and every run's
+	// probe chains are warmed through it. Unlike the LRU it survives
+	// restarts and is shared across server processes.
+	artifacts *store.Store
 
 	// retain caps how many finished runs stay queryable; without it a
 	// long-running server would keep every run's report and stream
@@ -141,7 +150,11 @@ func (m *Manager) Start(req RunRequest) (*run, error) {
 		lines:   make([][]byte, len(norm.Names)),
 	}
 
-	if e, ok := m.cache.get(norm.key()); ok {
+	e, hit := m.cache.get(norm.key())
+	if !hit {
+		e, hit = m.loadStored(norm)
+	}
+	if hit {
 		r.cached = true
 		r.state = StateDone
 		r.completed = len(e.names)
@@ -160,6 +173,76 @@ func (m *Manager) Start(req RunRequest) (*run, error) {
 	m.mu.Unlock()
 	m.prune()
 	return r, nil
+}
+
+// storeKey maps a normalized request to its persistent-store key: the
+// same (profile, seed, resolved selection closure) triple the LRU key
+// canonicalizes.
+func storeKey(norm *normalized) store.ReportKey {
+	return store.ReportKey{Profile: norm.Profile, Seed: norm.Seed, Experiments: norm.Names}
+}
+
+// loadStored consults the persistent store for a finished report and,
+// on a hit, rehydrates a full cache entry (report bytes plus the
+// per-experiment stream lines, reconstructed from the report) and
+// promotes it into the LRU. Any inconsistency — report shape, count or
+// name mismatch against the resolved selection — is a miss; the run
+// then executes normally and overwrites the entry.
+func (m *Manager) loadStored(norm *normalized) (*cacheEntry, bool) {
+	if m.artifacts == nil {
+		return nil, false
+	}
+	report, ok := m.artifacts.LoadReport(storeKey(norm))
+	if !ok {
+		return nil, false
+	}
+	lines, err := linesFromReport(report, norm.Names)
+	if err != nil {
+		return nil, false
+	}
+	e := &cacheEntry{key: norm.key(), names: norm.Names, report: report, lines: lines}
+	m.cache.add(e)
+	return e, true
+}
+
+// linesFromReport rebuilds the NDJSON stream payloads from a persisted
+// report: one StreamEvent per experiment, in report order, carrying
+// the exact experiment object the report holds (compacted — the
+// stream format is compact JSON). Wall-time metadata is absent by
+// design: it belongs to the run that executed, not to a replay.
+func linesFromReport(report []byte, names []string) ([][]byte, error) {
+	var doc struct {
+		Experiments []json.RawMessage `json:"experiments"`
+	}
+	if err := json.Unmarshal(report, &doc); err != nil {
+		return nil, fmt.Errorf("serve: stored report: %w", err)
+	}
+	if len(doc.Experiments) != len(names) {
+		return nil, fmt.Errorf("serve: stored report has %d experiments, selection has %d",
+			len(doc.Experiments), len(names))
+	}
+	lines := make([][]byte, len(names))
+	for i, raw := range doc.Experiments {
+		var id struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(raw, &id); err != nil || id.Name != names[i] {
+			return nil, fmt.Errorf("serve: stored report entry %d is %q, want %q", i, id.Name, names[i])
+		}
+		// A raw-prefix twin of StreamEvent: same field names and order,
+		// with the experiment embedded verbatim (json.Marshal compacts
+		// RawMessage, matching the live stream's compact encoding).
+		line, err := json.Marshal(struct {
+			Index      int             `json:"index"`
+			Total      int             `json:"total"`
+			Experiment json.RawMessage `json:"experiment"`
+		}{i, len(names), raw})
+		if err != nil {
+			return nil, err
+		}
+		lines[i] = line
+	}
+	return lines, nil
 }
 
 // prune evicts the oldest finished runs past the retention cap, so
@@ -248,6 +331,7 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 		Only:     r.norm.Only,
 		Context:  ctx,
 		OnResult: r.onResult,
+		Store:    m.artifacts,
 	})
 	switch {
 	case err != nil:
@@ -274,6 +358,11 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 			report: data,
 			lines:  r.snapshotLines(),
 		})
+		if m.artifacts != nil {
+			// Write-through, best-effort: a full disk must not fail a
+			// finished run, it only costs the next process a re-run.
+			_ = m.artifacts.SaveReport(storeKey(r.norm), data)
+		}
 	}
 }
 
@@ -281,7 +370,8 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 // the result once, store it under its report index, and wake streams.
 // It runs on suite worker goroutines, concurrently.
 func (r *run) onResult(index, total int, res *expt.ExptResult) {
-	line, err := json.Marshal(StreamEvent{Index: index, Total: total, Experiment: res})
+	line, err := json.Marshal(StreamEvent{Index: index, Total: total, Experiment: res,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond)})
 	if err != nil {
 		line, _ = json.Marshal(StreamEvent{Index: index, Total: total,
 			Error: fmt.Sprintf("marshal result: %v", err)})

@@ -21,6 +21,7 @@ import (
 	"net/http"
 
 	"dramscope/internal/expt"
+	"dramscope/internal/store"
 	"dramscope/internal/topo"
 )
 
@@ -36,6 +37,13 @@ type Config struct {
 	// oldest are evicted (404); 0 means the default (256). Running
 	// runs are never evicted.
 	Retain int
+	// Store, when non-nil, is the persistent probe-artifact store
+	// backing the LRU: finished reports are written through to it and
+	// served from it after a restart (or by a different server process
+	// sharing the directory), and every run's probe chains are warmed
+	// through it. A store hit can never change a byte of a served
+	// report — the same contract the LRU already relies on.
+	Store *store.Store
 	// Factory builds suites; nil means expt.DefaultSuite.
 	Factory SuiteFactory
 }
@@ -57,6 +65,7 @@ func New(cfg Config) *Server {
 	if cfg.Retain != 0 {
 		mgr.retain = cfg.Retain
 	}
+	mgr.artifacts = cfg.Store
 	s := &Server{
 		mgr:     mgr,
 		factory: factory,

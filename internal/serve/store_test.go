@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"dramscope/internal/store"
+)
+
+// TestStoreSurvivesRestart is the persistent-cache contract: a report
+// produced by one server process is served — byte-identical, marked
+// cached, with a fully replayable stream — by a different server
+// process sharing only the store directory. The in-memory LRU dies
+// with the process; the store is what outlives it.
+func TestStoreSurvivesRestart(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts1 := newTestServer(t, Config{Factory: testFactory, Store: st1})
+	first, resp := postRun(t, ts1, `{"seed": 42}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs status = %d, want 202", resp.StatusCode)
+	}
+	if waitDone(t, ts1, first.ID).State != StateDone {
+		t.Fatal("first run did not finish")
+	}
+	report1, code := getReport(t, ts1, first.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /report status = %d, want 200", code)
+	}
+
+	// A "restarted" server: fresh manager, fresh LRU, same directory.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newTestServer(t, Config{Factory: testFactory, Store: st2})
+	second, resp := postRun(t, ts2, `{"seed": 42}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("store-backed POST /runs status = %d, want 200 (cached)", resp.StatusCode)
+	}
+	if !second.Cached {
+		t.Fatal("restarted server did not mark the run cached")
+	}
+	report2, code := getReport(t, ts2, second.ID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /report status = %d, want 200", code)
+	}
+	if !bytes.Equal(report1, report2) {
+		t.Fatalf("served report changed across restart:\nfirst:  %s\nsecond: %s", report1, report2)
+	}
+
+	// The rehydrated stream replays every experiment in order, then
+	// the terminal event.
+	events := streamEvents(t, ts2, second.ID)
+	if len(events) != second.Total+1 {
+		t.Fatalf("stream produced %d events, want %d + terminal", len(events), second.Total)
+	}
+	for i := 0; i < second.Total; i++ {
+		ev := events[i]
+		if ev.Index != i || ev.Experiment == nil || ev.Experiment.Name != second.Experiments[i] {
+			t.Fatalf("rehydrated stream event %d = %+v, want %q at index %d", i, ev, second.Experiments[i], i)
+		}
+	}
+	if term := events[second.Total]; !term.Done || term.State != StateDone {
+		t.Fatalf("terminal event = %+v, want done/state=done", term)
+	}
+
+	// A different seed is still a fresh run on the new server.
+	miss, resp := postRun(t, ts2, `{"seed": 43}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("different-seed POST status = %d, want 202", resp.StatusCode)
+	}
+	if miss.Cached {
+		t.Fatal("different seed was served from the store")
+	}
+}
+
+// TestStoreCorruptReportFallsBack plants a corrupted report entry and
+// checks the server quietly re-runs instead of serving it.
+func TestStoreCorruptReportFallsBack(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	st1, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := newTestServer(t, Config{Factory: testFactory, Store: st1})
+	first, _ := postRun(t, ts1, `{"seed": 42}`)
+	if waitDone(t, ts1, first.ID).State != StateDone {
+		t.Fatal("first run did not finish")
+	}
+	report1, _ := getReport(t, ts1, first.ID)
+
+	// Overwrite the stored report with a mismatched one (valid JSON,
+	// wrong experiment set) under the same key.
+	key := store.ReportKey{Profile: first.Profile, Seed: first.Seed, Experiments: first.Experiments}
+	if err := st1.SaveReport(key, []byte(`{"seed":42,"experiments":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := newTestServer(t, Config{Factory: testFactory, Store: st2})
+	second, resp := postRun(t, ts2, `{"seed": 42}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("corrupt-entry POST status = %d, want 202 (fresh run)", resp.StatusCode)
+	}
+	if waitDone(t, ts2, second.ID).State != StateDone {
+		t.Fatal("fallback run did not finish")
+	}
+	report2, _ := getReport(t, ts2, second.ID)
+	if !bytes.Equal(report1, report2) {
+		t.Fatal("fallback run produced a different report")
+	}
+}

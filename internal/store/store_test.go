@@ -1,0 +1,324 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dramscope/internal/core"
+	"dramscope/internal/topo"
+)
+
+// testProbeState builds a structurally valid full-chain state by hand,
+// so the store's round-trip and robustness behavior can be tested
+// without running any probe.
+func testProbeState() *core.ProbeState {
+	return &core.ProbeState{
+		Order: &core.RowOrder{LUT: [4]int{0, 1, 3, 2}},
+		Subarrays: &core.SubarrayLayout{
+			ScannedRows:         1024,
+			Boundaries:          []int{511},
+			Heights:             []int{512},
+			OpenBitline:         true,
+			InvertedCopy:        true,
+			EdgeRegionSubarrays: 2,
+		},
+		Cells: &core.CellPolarity{AntiBySubarray: []bool{false, true}, Interleaved: true},
+		Swizzle: &core.SwizzleMap{
+			ColumnStride: 1,
+			Components:   [][]int{{0, 1}, {2, 3}},
+			Orders:       [][]int{{1, 0}, {2, 3}},
+			Parity:       []int{0, 1, 0, 1},
+			MATWidthBits: 128,
+			BitsPerMAT:   2,
+		},
+	}
+}
+
+func testKey(seed uint64, level int) ProbeKey {
+	return ProbeKey{Profile: topo.Small(), Seed: seed, Level: level}
+}
+
+// entryPath resolves the single entry file of a one-entry store.
+func entryPath(t *testing.T, dir string) string {
+	t.Helper()
+	var files []string
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if len(files) != 1 {
+		t.Fatalf("store holds %d files, want exactly 1: %v", len(files), files)
+	}
+	return files[0]
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	t.Parallel()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(7, 4)
+	if _, ok := s.LoadProbes(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	want := testProbeState()
+	if err := s.SaveProbes(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadProbes(key)
+	if !ok {
+		t.Fatal("saved entry did not load")
+	}
+	wantJSON, _ := core.EncodeProbeState(want)
+	gotJSON, _ := core.EncodeProbeState(got)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("round trip changed the state:\nsaved:  %s\nloaded: %s", wantJSON, gotJSON)
+	}
+}
+
+// TestKeyIsolation checks that any key component — seed, level, or a
+// profile parameter — addresses a distinct entry, so nothing can ever
+// be served for inputs it was not recovered from.
+func TestKeyIsolation(t *testing.T) {
+	t.Parallel()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveProbes(testKey(7, 4), testProbeState()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadProbes(testKey(8, 4)); ok {
+		t.Error("different seed shared an entry")
+	}
+	if _, ok := s.LoadProbes(testKey(7, 2)); ok {
+		t.Error("different level shared an entry")
+	}
+	other := testKey(7, 4)
+	other.Profile.RowBits += 64
+	if _, ok := s.LoadProbes(other); ok {
+		t.Error("different profile geometry shared an entry")
+	}
+}
+
+// TestCorruptEntriesFallBack covers the recovery contract: truncated,
+// garbage, and tampered-version entries all read as misses (so the
+// caller re-probes), and structurally broken files are quarantined on
+// writable stores so a fresh save replaces them.
+func TestCorruptEntriesFallBack(t *testing.T) {
+	t.Parallel()
+	key := testKey(7, 4)
+
+	write := func(t *testing.T, mutate func([]byte) []byte) (*Store, string) {
+		t.Helper()
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SaveProbes(key, testProbeState()); err != nil {
+			t.Fatal(err)
+		}
+		path := entryPath(t, s.Dir())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return s, path
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		t.Parallel()
+		s, path := write(t, func(b []byte) []byte { return b[:len(b)/2] })
+		if _, ok := s.LoadProbes(key); ok {
+			t.Fatal("truncated entry loaded")
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Error("truncated entry was not quarantined")
+		}
+		// The store must heal: re-save and re-load.
+		if err := s.SaveProbes(key, testProbeState()); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.LoadProbes(key); !ok {
+			t.Fatal("re-saved entry did not load")
+		}
+	})
+
+	t.Run("garbage", func(t *testing.T) {
+		t.Parallel()
+		s, _ := write(t, func([]byte) []byte { return []byte("not json at all") })
+		if _, ok := s.LoadProbes(key); ok {
+			t.Fatal("garbage entry loaded")
+		}
+	})
+
+	t.Run("wrong-version", func(t *testing.T) {
+		t.Parallel()
+		s, path := write(t, func(b []byte) []byte {
+			var env map[string]interface{}
+			if err := json.Unmarshal(b, &env); err != nil {
+				t.Fatal(err)
+			}
+			env["schema"] = SchemaVersion + 1
+			out, err := json.Marshal(env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		})
+		if _, ok := s.LoadProbes(key); ok {
+			t.Fatal("wrong-version entry loaded")
+		}
+		// A foreign-generation file is ignored, not deleted.
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("wrong-version entry was deleted: %v", err)
+		}
+	})
+
+	t.Run("invalid-payload", func(t *testing.T) {
+		t.Parallel()
+		s, _ := write(t, func(b []byte) []byte {
+			// Break a chain invariant inside an otherwise well-formed
+			// envelope: a LUT that is not a permutation.
+			return bytes.Replace(b, []byte(`"lut":[0,1,3,2]`), []byte(`"lut":[0,0,3,2]`), 1)
+		})
+		if _, ok := s.LoadProbes(key); ok {
+			t.Fatal("invalid probe payload loaded")
+		}
+	})
+}
+
+func TestReadOnlyStore(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	rw, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(7, 4)
+	if err := rw.SaveProbes(key, testProbeState()); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, dir)
+
+	ro, err := OpenReadOnly(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ro.LoadProbes(key); !ok {
+		t.Fatal("read-only store missed an existing entry")
+	}
+	// Saves are silent no-ops...
+	if err := ro.SaveProbes(testKey(8, 4), testProbeState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.SaveReport(ReportKey{Profile: "p", Seed: 1, Experiments: []string{"x"}}, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and corrupt entries are not quarantined.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ro.LoadProbes(key); ok {
+		t.Fatal("corrupt entry loaded")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("read-only store modified the disk: %v", err)
+	}
+	if path := entryPath(t, dir); path == "" {
+		t.Fatal("unreachable")
+	}
+
+	// OpenReadOnly on a directory that does not exist is fine: every
+	// load is a miss, nothing is created.
+	missing := filepath.Join(t.TempDir(), "never-created")
+	ro2, err := OpenReadOnly(missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ro2.LoadProbes(key); ok {
+		t.Fatal("hit from a nonexistent directory")
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Error("read-only open created the directory")
+	}
+}
+
+// TestReportRoundTripByteExact checks the report side preserves the
+// payload verbatim — whitespace, indentation, trailing newlines — so a
+// store hit serves exactly the bytes the producing run wrote.
+func TestReportRoundTripByteExact(t *testing.T) {
+	t.Parallel()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ReportKey{Profile: "MfrA", Seed: 7, Experiments: []string{"table1", "fig7"}}
+	want := []byte("{\n  \"seed\": 7,\n  \"experiments\": []\n}\n")
+	if err := s.SaveReport(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadReport(key)
+	if !ok {
+		t.Fatal("saved report did not load")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report bytes changed:\nsaved:  %q\nloaded: %q", want, got)
+	}
+	// A different selection closure is a different report.
+	other := ReportKey{Profile: "MfrA", Seed: 7, Experiments: []string{"table1"}}
+	if _, ok := s.LoadReport(other); ok {
+		t.Fatal("different selection shared a report entry")
+	}
+}
+
+// TestConcurrentWriters hammers one key from many goroutines (plus
+// concurrent readers) to exercise the write-to-temp + atomic-rename
+// discipline. Runs under -race in CI's race job; a reader must only
+// ever observe a complete, valid entry or a miss — never a torn write.
+func TestConcurrentWriters(t *testing.T) {
+	t.Parallel()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(7, 4)
+	ps := testProbeState()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := s.SaveProbes(key, ps); err != nil {
+					t.Errorf("save: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if got, ok := s.LoadProbes(key); ok && got.Order.LUT != ps.Order.LUT {
+					t.Error("reader observed a torn entry")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if _, ok := s.LoadProbes(key); !ok {
+		t.Fatal("entry missing after concurrent writes")
+	}
+}
