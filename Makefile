@@ -6,8 +6,11 @@
 #   make bench   - regenerate every paper artifact as benchmarks
 #   make suite   - run the concurrent experiment suite (all artifacts)
 #   make serve   - boot the HTTP run service (cmd/dramscoped)
-#   make golden  - regenerate the golden-report fixture after an
-#                  intentional output change (review the diff!)
+#   make golden  - regenerate the golden-report fixtures (full suite +
+#                  campaign aggregate) after an intentional output
+#                  change (review the diff!)
+#   make campaign - run the golden campaign population from the CLI
+#                  (3 vendors x 2 seeds, per-device recovery)
 #   make clean-store - delete the local probe-artifact store
 #                  (STORE_DIR, default ./dramscope-store); do this after
 #                  changing probe code without bumping ProbeSchemaVersion
@@ -23,7 +26,12 @@ SUITE_FLAGS ?= -run all
 SERVE_FLAGS ?=
 STORE_DIR ?= dramscope-store
 
-.PHONY: build test race short bench suite serve vet golden clean-store
+.PHONY: build test race short bench suite serve vet golden campaign clean-store
+
+# The golden campaign population (mirrored by expt.GoldenCampaign and
+# asserted by TestGoldenCampaignReport): one representative device per
+# vendor x two seeds, each run recovering its own Table III row.
+GOLDEN_CAMPAIGN = -campaign 'MfrA-DDR4-x4-2016,MfrB-DDR4-x4-2019,MfrC-DDR4-x8-2016' -seeds 5,7 -run recover
 
 build:
 	$(GO) build ./...
@@ -49,10 +57,17 @@ suite:
 serve:
 	$(GO) run ./cmd/dramscoped $(SERVE_FLAGS)
 
-# The fixture is the full default-profile/default-seed suite report;
-# TestGoldenSuiteReport fails on any byte drift from it.
+# The fixtures are the full default-profile/default-seed suite report
+# and the golden-campaign aggregate; TestGoldenSuiteReport and
+# TestGoldenCampaignReport fail on any byte of drift from them.
 golden:
 	$(GO) run ./cmd/experiments -run all -json internal/expt/testdata/suite_report.json > /dev/null
+	$(GO) run ./cmd/experiments $(GOLDEN_CAMPAIGN) -json internal/expt/testdata/campaign_report.json > /dev/null
+
+# CAMPAIGN_FLAGS appends extras, e.g.
+#   make campaign CAMPAIGN_FLAGS='-store dramscope-store -progress'
+campaign:
+	$(GO) run ./cmd/experiments $(GOLDEN_CAMPAIGN) $(CAMPAIGN_FLAGS)
 
 # The store is a pure cache: deleting it is always safe (the next run
 # re-probes) and is the invalidation of last resort for dev builds,

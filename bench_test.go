@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"testing"
@@ -37,7 +38,7 @@ func BenchmarkSuite(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := s.Run(expt.Options{Jobs: cfg.jobs, Shards: cfg.shards})
+				rep, err := s.Run(expt.Options{Spec: expt.RunSpec{Jobs: cfg.jobs, Shards: cfg.shards}})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -52,6 +53,42 @@ func BenchmarkSuite(b *testing.B) {
 					ref = text
 				} else if text != ref {
 					b.Fatal("suite output differs across runs/worker/shard counts")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaign drives the population layer: a two-device,
+// per-device-recovery campaign through the shared worker pool at
+// several pool sizes. The jobs dimension shows how campaigns scale
+// across member runs; the aggregate is asserted byte-identical at
+// every point (the campaign determinism guarantee).
+func BenchmarkCampaign(b *testing.B) {
+	specs := []expt.RunSpec{
+		{Profile: "MfrA-DDR4-x4-2016", Seed: 5, Only: []string{"recover"}},
+		{Profile: "MfrC-DDR4-x8-2016", Seed: 5, Only: []string{"recover"}},
+	}
+	var ref []byte
+	for _, jobs := range []int{1, 2} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := &expt.Campaign{Specs: specs}
+				rep, err := c.Run(expt.CampaignOptions{Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rep.Err(); err != nil {
+					b.Fatal(err)
+				}
+				data, err := rep.JSON()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ref == nil {
+					ref = data
+				} else if !bytes.Equal(ref, data) {
+					b.Fatal("campaign aggregate differs across worker-pool sizes")
 				}
 			}
 		})

@@ -20,10 +20,10 @@ import (
 	"fmt"
 	"os"
 
+	"dramscope/internal/cli"
 	"dramscope/internal/core"
 	"dramscope/internal/expt"
 	"dramscope/internal/stats"
-	"dramscope/internal/store"
 	"dramscope/internal/topo"
 )
 
@@ -32,15 +32,14 @@ func main() {
 	seed := flag.Uint64("seed", 1, "fault-map seed")
 	list := flag.Bool("list", false, "list available device profiles")
 	swizzle := flag.Bool("swizzle", false, "also reverse-engineer the data swizzle (slower)")
-	storeDir := flag.String("store", "", "persistent probe-artifact store directory (optional)")
-	storeRO := flag.Bool("store-readonly", false, "open -store read-only: serve hits, never write")
+	storeFlags := cli.BindStoreFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(expandedCatalog())
 		return
 	}
-	if err := run(*profile, *seed, *swizzle, *storeDir, *storeRO); err != nil {
+	if err := run(*profile, *seed, *swizzle, storeFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "dramscope:", err)
 		os.Exit(1)
 	}
@@ -54,12 +53,12 @@ func expandedCatalog() string {
 	return t.String()
 }
 
-func run(name string, seed uint64, withSwizzle bool, storeDir string, storeRO bool) error {
-	prof, ok := topo.ByName(name)
-	if !ok {
-		return fmt.Errorf("unknown profile %q (try -list)", name)
+func run(name string, seed uint64, withSwizzle bool, storeFlags *cli.StoreFlags) error {
+	prof, err := cli.Profile(name)
+	if err != nil {
+		return err
 	}
-	st, err := store.OpenDir(storeDir, storeRO)
+	st, err := storeFlags.Open()
 	if err != nil {
 		return err
 	}

@@ -1,27 +1,33 @@
 // Command dramscoped serves the experiment suite over HTTP: a
 // long-running front-end that turns every paper artifact into a
 // cacheable service request. Clients create runs with POST /runs
-// (profile, seed, selection), watch them via GET /runs/{id} or the
-// NDJSON stream at GET /runs/{id}/stream, and fetch the finished
-// report — byte-identical to `cmd/experiments -json` for the same
-// inputs — from GET /runs/{id}/report. See docs/api.md for the full
-// API and examples/service_client for a programmatic client.
+// (a RunSpec: profile, seed, selection, activation budget), watch
+// them via GET /runs/{id} or the NDJSON stream at
+// GET /runs/{id}/stream, and fetch the finished report —
+// byte-identical to `cmd/experiments -json` for the same inputs —
+// from GET /runs/{id}/report. POST /campaigns lifts the request to a
+// population (profile globs × seeds) whose member runs share the
+// worker pool and caches and roll up into a deterministic
+// cross-device aggregate. See docs/api.md for the full API and
+// examples/service_client for a programmatic client.
 //
 // Usage:
 //
 //	dramscoped -addr :8077
 //	dramscoped -addr 127.0.0.1:8077 -budget 8 -cache 128
 //	dramscoped -addr :8077 -store dramscope-store
+//	dramscoped -addr :8077 -store dramscope-store -store-readonly
 //
-// -budget bounds the worker tokens shared by all concurrent runs;
-// -cache sizes the LRU result cache (entries; determinism makes
-// entries immortal, so capacity is the only eviction). -store backs
-// the LRU with a persistent on-disk artifact store: finished reports
-// and recovered probe chains survive restarts and are shared with
-// other server processes and cmd/experiments runs pointing at the
-// same directory (cmd/dramscope shares the directory and key scheme
-// too; its entries are reused when the keys genuinely match — see the
-// README's store section).
+// -budget bounds the worker tokens shared by all concurrent runs and
+// campaigns; -cache sizes the LRU result cache (entries; determinism
+// makes entries immortal, so capacity is the only eviction). -store
+// backs the LRU with a persistent on-disk artifact store: finished
+// reports (keyed by the canonical spec digest) and recovered probe
+// chains survive restarts and are shared with other server processes
+// and cmd/experiments runs pointing at the same directory
+// (cmd/dramscope shares the directory and key scheme too; its entries
+// are reused when the keys genuinely match — see the README's store
+// section). -store-readonly serves hits without ever writing.
 package main
 
 import (
@@ -35,8 +41,8 @@ import (
 	"syscall"
 	"time"
 
+	"dramscope/internal/cli"
 	"dramscope/internal/serve"
-	"dramscope/internal/store"
 )
 
 func main() {
@@ -44,17 +50,17 @@ func main() {
 	budget := flag.Int("budget", 0, "worker tokens shared across concurrent runs (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default 64, negative = disabled)")
 	retain := flag.Int("retain", 0, "finished runs kept queryable before the oldest are evicted (0 = default 256)")
-	storeDir := flag.String("store", "", "persistent probe-artifact store directory backing the LRU (optional)")
+	storeFlags := cli.BindStoreFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*addr, *budget, *cacheSize, *retain, *storeDir); err != nil {
+	if err := run(*addr, *budget, *cacheSize, *retain, storeFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "dramscoped:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, budget, cacheSize, retain int, storeDir string) error {
-	st, err := store.OpenDir(storeDir, false)
+func run(addr string, budget, cacheSize, retain int, storeFlags *cli.StoreFlags) error {
+	st, err := storeFlags.Open()
 	if err != nil {
 		return err
 	}

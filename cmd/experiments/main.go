@@ -12,8 +12,27 @@
 //	experiments -run all -profile MfrA-DDR4-x4-2021 -jobs 8
 //	experiments -json results.json -csv outdir
 //	experiments -run all -store dramscope-store   # warm runs skip the probe chain
+//	experiments -run recover -max-activations 2000000
+//	experiments -campaign 'MfrA-*' -seeds 5,7 -run recover -store dramscope-store
 //	experiments -progress
 //	experiments -list
+//
+// A flag set describes one run request (a RunSpec: profile, seed,
+// selection, jobs/shards, activation budget). -campaign lifts the
+// request to a population: the comma-separated profile globs (or
+// "all") are expanded against the Table I catalog and crossed with
+// -seeds, and the resulting runs are scheduled over one shared worker
+// pool. Each run's report is byte-identical to running its spec alone;
+// stdout carries the deterministic cross-device aggregate (per-vendor
+// and per-generation roll-ups of the recovered Table III rows), -json
+// writes the aggregate report, and -campaign-runs DIR writes every
+// per-run report as DIR/<digest>.json. With -store, completed per-run
+// reports are memoized by their canonical spec digest: a warm campaign
+// issues zero probe commands and skips straight to aggregation.
+//
+// -max-activations enforces the activation budget: a run whose metered
+// ACT commands (probe chains plus measurement Envs) cross the cap
+// fails with a typed budget error and a non-zero exit.
 //
 // With -store DIR, recovered probe chains are persisted in a
 // content-addressed artifact store keyed by (profile, seed, probe
@@ -32,10 +51,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strings"
+	"sync"
 	"time"
 
+	"dramscope/internal/cli"
 	"dramscope/internal/expt"
+	"dramscope/internal/host"
 	"dramscope/internal/store"
 )
 
@@ -45,11 +66,14 @@ func main() {
 	seed := flag.Uint64("seed", expt.DefaultSeed, "suite base seed (per-experiment seeds are split from it)")
 	jobs := flag.Int("jobs", 0, "worker count (0 = GOMAXPROCS); results are identical for any value")
 	shards := flag.Int("shards", 0, "shard cap per partitioned experiment (0 = worker count); results are identical for any value")
+	maxActs := flag.Int64("max-activations", 0, "activation budget: fail the run once metered ACT commands cross the cap (0 = unlimited)")
+	campaign := flag.String("campaign", "", "campaign mode: comma-separated profile globs over the catalog (or 'all'); crossed with -seeds")
+	seeds := flag.String("seeds", "", "comma-separated seed list for -campaign (default: the -seed value)")
+	runsDir := flag.String("campaign-runs", "", "directory for per-run campaign reports, one <digest>.json each (optional)")
 	jsonPath := flag.String("json", "", "file for the machine-readable JSON report (optional)")
 	csvDir := flag.String("csv", "", "directory for CSV result files (optional)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr (stdout stays byte-stable)")
-	storeDir := flag.String("store", "", "persistent probe-artifact store directory; warm runs skip the probe chain (optional)")
-	storeRO := flag.Bool("store-readonly", false, "open -store read-only: serve hits, never write (CI determinism checks)")
+	storeFlags := cli.BindStoreFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -65,49 +89,77 @@ func main() {
 		stop()
 	}()
 
-	if err := run(ctx, *runList, *profile, *seed, *jobs, *shards, *jsonPath, *csvDir, *storeDir, *storeRO, *progress, *list); err != nil {
+	spec := expt.RunSpec{
+		Profile:        *profile,
+		Seed:           *seed,
+		Jobs:           *jobs,
+		Shards:         *shards,
+		MaxActivations: *maxActs,
+	}
+	cfg := runConfig{
+		spec:     spec,
+		runList:  *runList,
+		campaign: *campaign,
+		seeds:    *seeds,
+		runsDir:  *runsDir,
+		jsonPath: *jsonPath,
+		csvDir:   *csvDir,
+		progress: *progress,
+		list:     *list,
+	}
+	if err := run(ctx, cfg, storeFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards int, jsonPath, csvDir, storeDir string, storeRO, progress, list bool) error {
-	suite, err := expt.DefaultSuite(profile, seed)
-	if err != nil {
-		return err
-	}
-	if list {
+type runConfig struct {
+	spec     expt.RunSpec
+	runList  string
+	campaign string
+	seeds    string
+	runsDir  string
+	jsonPath string
+	csvDir   string
+	progress bool
+	list     bool
+}
+
+func run(ctx context.Context, cfg runConfig, storeFlags *cli.StoreFlags) error {
+	if cfg.list {
+		suite, err := expt.DefaultSuite(cfg.spec.Profile, cfg.spec.Seed)
+		if err != nil {
+			return err
+		}
 		for _, name := range suite.Names() {
 			fmt.Println(name)
 		}
 		return nil
 	}
-	st, err := store.OpenDir(storeDir, storeRO)
+	st, err := storeFlags.Open()
 	if err != nil {
 		return err
 	}
-
-	var only []string
-	all := false
-	for _, id := range strings.Split(runList, ",") {
-		id = strings.TrimSpace(id)
-		if id == "" {
-			continue // tolerate stray commas: "table1,"
-		}
-		if id == "all" {
-			all = true
-			continue
-		}
-		only = append(only, id)
+	only, err := cli.Selection(cfg.runList)
+	if err != nil {
+		return err
 	}
-	if all {
-		only = nil
-	} else if len(only) == 0 {
-		return fmt.Errorf("empty -run selection (use -list for experiment ids)")
-	}
+	cfg.spec.Only = only
 
-	opt := expt.Options{Jobs: jobs, Shards: shards, Only: only, Context: ctx, Store: st}
-	if progress {
+	if cfg.campaign != "" {
+		return runCampaign(ctx, cfg, st)
+	}
+	return runSolo(ctx, cfg, st)
+}
+
+// runSolo executes one spec — the classic single-run mode.
+func runSolo(ctx context.Context, cfg runConfig, st *store.Store) error {
+	rs, suite, err := expt.ResolveSpec(cfg.spec, expt.DefaultSuite)
+	if err != nil {
+		return err
+	}
+	opt := expt.Options{Spec: rs.RunSpec, Context: ctx, Store: st}
+	if cfg.progress {
 		// Progress is out-of-band on stderr so the deterministic
 		// report on stdout stays byte-identical with or without it.
 		opt.OnResult = func(index, total int, res *expt.ExptResult) {
@@ -123,38 +175,145 @@ func run(ctx context.Context, runList, profile string, seed uint64, jobs, shards
 	if err != nil {
 		return err
 	}
-	if progress {
-		// The probe bill for this run: zero on a fully store-warmed
-		// run (the line CI's warm-store job asserts on).
-		if cost := suite.ProbeCost(); cost.Total() == 0 {
-			fmt.Fprintln(os.Stderr, "probe cost: none")
-		} else {
-			fmt.Fprintf(os.Stderr, "probe cost: %s\n", cost)
-		}
+	if cfg.progress {
+		printProbeCost(suite.ProbeCost())
 	}
 	fmt.Print(rep.Text())
 
-	if jsonPath != "" {
+	if cfg.jsonPath != "" {
 		data, err := rep.JSON()
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		if err := os.WriteFile(cfg.jsonPath, data, 0o644); err != nil {
 			return err
 		}
 	}
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+	if cfg.csvDir != "" {
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
 			return err
 		}
 		for _, res := range rep.Results {
 			for _, rt := range res.Tables {
-				path := filepath.Join(csvDir, rt.ID+".csv")
+				path := filepath.Join(cfg.csvDir, rt.ID+".csv")
 				if err := os.WriteFile(path, []byte(rt.Table.CSV()), 0o644); err != nil {
 					return err
 				}
 			}
 		}
 	}
+	if be := rep.BudgetExceeded(); be != nil {
+		// Surface the typed budget stop as the run error (the report
+		// already embeds the per-experiment failures).
+		return be
+	}
 	return rep.Err()
+}
+
+// runCampaign expands the profile globs × seed list into a Campaign
+// and prints the deterministic aggregate.
+func runCampaign(ctx context.Context, cfg runConfig, st *store.Store) error {
+	profiles, err := expt.MatchProfiles(cfg.campaign)
+	if err != nil {
+		return err
+	}
+	seeds, err := cli.Seeds(cfg.seeds, cfg.spec.Seed)
+	if err != nil {
+		return err
+	}
+	var c expt.Campaign
+	for _, prof := range profiles {
+		for _, seed := range seeds {
+			sp := cfg.spec
+			sp.Profile = prof
+			sp.Seed = seed
+			c.Specs = append(c.Specs, sp)
+		}
+	}
+	if cfg.runsDir != "" {
+		if err := os.MkdirAll(cfg.runsDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var mu sync.Mutex
+	var probeCost host.Counters
+	var writeErr error
+	opt := expt.CampaignOptions{
+		Jobs:    cfg.spec.Jobs,
+		Store:   st,
+		Context: ctx,
+		OnRun: func(index, total int, res *expt.CampaignRunResult) {
+			mu.Lock()
+			probeCost = probeCost.Add(res.ProbeCost)
+			mu.Unlock()
+			if cfg.progress {
+				state := "ok"
+				switch {
+				case res.Err != nil:
+					state = res.Err.Error()
+				case res.Cached:
+					state = "cached"
+				}
+				fmt.Fprintf(os.Stderr, "[%d/%d] %s seed %d: %s (%s)\n", index+1, total,
+					res.Spec.Profile, res.Spec.Seed, state, res.Elapsed.Round(time.Millisecond))
+			}
+			if cfg.runsDir != "" && res.Report != nil {
+				path := filepath.Join(cfg.runsDir, res.Spec.Digest()+".json")
+				if err := os.WriteFile(path, res.Report, 0o644); err != nil {
+					mu.Lock()
+					writeErr = err
+					mu.Unlock()
+				}
+			}
+		},
+	}
+	rep, err := c.Run(opt)
+	if err != nil {
+		return err
+	}
+	if cfg.progress {
+		printProbeCost(probeCost)
+	}
+	fmt.Print(rep.Text())
+	if cfg.jsonPath != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if cfg.csvDir != "" {
+		// Campaign CSVs are the aggregate roll-ups; per-run artifacts
+		// live in -campaign-runs as full JSON reports.
+		if err := os.MkdirAll(cfg.csvDir, 0o755); err != nil {
+			return err
+		}
+		for name, tbl := range map[string]interface{ CSV() string }{
+			"campaign_vendors":     rep.Vendors,
+			"campaign_generations": rep.Generations,
+		} {
+			path := filepath.Join(cfg.csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	return rep.Err()
+}
+
+// printProbeCost prints the probe bill for this invocation: zero on a
+// fully store-warmed run or campaign (the line CI's warm jobs assert
+// on).
+func printProbeCost(cost host.Counters) {
+	if cost.Total() == 0 {
+		fmt.Fprintln(os.Stderr, "probe cost: none")
+	} else {
+		fmt.Fprintf(os.Stderr, "probe cost: %s\n", cost)
+	}
 }

@@ -10,10 +10,18 @@
 // determinism contract and exits non-zero — CI boots a server and
 // runs this client as the end-to-end gate.
 //
+// With -campaign GLOBS the client exercises the population surface
+// instead: POST /campaigns (profiles glob × -seeds, selecting -run),
+// stream per-run completions from GET /campaigns/{id}/stream, fetch
+// the aggregate report, and byte-diff the first member's served
+// per-run report (GET /runs/{runId}/report) against an in-process
+// solo run of the same spec — the campaign twin of the solo guarantee.
+//
 // Usage (against a local server):
 //
 //	dramscoped -addr :8077 &
 //	go run ./examples/service_client -addr http://127.0.0.1:8077 -run table1,fig5,defense
+//	go run ./examples/service_client -addr http://127.0.0.1:8077 -campaign 'MfrA-DDR4-x4-2016' -seeds 5,7 -run recover
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"dramscope/internal/cli"
 	"dramscope/internal/expt"
 )
 
@@ -36,11 +45,19 @@ func main() {
 	profile := flag.String("profile", expt.DefaultFigProfile, "device profile for the figure experiments")
 	seed := flag.Uint64("seed", expt.DefaultSeed, "suite base seed")
 	jobs := flag.Int("jobs", 0, "requested worker count (server clamps to its budget)")
+	campaign := flag.String("campaign", "", "campaign mode: profile globs over the catalog, POSTed to /campaigns")
+	seeds := flag.String("seeds", "", "comma-separated seed list for -campaign (default: the -seed value)")
 	verify := flag.Bool("verify", true, "re-run the suite locally and byte-compare the reports")
 	wantCached := flag.Bool("want-cached", false, "fail unless the server answers from its result cache (CI's cache regression gate)")
 	flag.Parse()
 
-	if err := run(*addr, *runList, *profile, *seed, *jobs, *verify, *wantCached); err != nil {
+	var err error
+	if *campaign != "" {
+		err = runCampaign(*addr, *campaign, *seeds, *runList, *seed, *verify)
+	} else {
+		err = run(*addr, *runList, *profile, *seed, *jobs, *verify, *wantCached)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "service_client:", err)
 		os.Exit(1)
 	}
@@ -74,12 +91,21 @@ type streamEvent struct {
 	Error      string          `json:"error"`
 }
 
+// selection parses the -run flag: empty means the full suite (the
+// client's documented default), anything else goes through the shared
+// cli.Selection rules ("all" sentinel, trimmed entries, error on a
+// selection that names nothing).
+func selection(runList string) ([]string, error) {
+	if strings.TrimSpace(runList) == "" {
+		return nil, nil
+	}
+	return cli.Selection(runList)
+}
+
 func run(addr, runList, profile string, seed uint64, jobs int, verify, wantCached bool) error {
-	var only []string
-	for _, id := range strings.Split(runList, ",") {
-		if id = strings.TrimSpace(id); id != "" && id != "all" {
-			only = append(only, id)
-		}
+	only, err := selection(runList)
+	if err != nil {
+		return err
 	}
 
 	// 1. Create the run.
@@ -124,18 +150,7 @@ func run(addr, runList, profile string, seed uint64, jobs int, verify, wantCache
 	// 4. The determinism contract, demonstrated: the same (profile,
 	// seed, selection) run locally must reproduce the served report
 	// byte for byte.
-	suite, err := expt.DefaultSuite(profile, seed)
-	if err != nil {
-		return err
-	}
-	rep, err := suite.Run(expt.Options{Only: only, Jobs: jobs})
-	if err != nil {
-		return err
-	}
-	if err := rep.Err(); err != nil {
-		return fmt.Errorf("local run: %w", err)
-	}
-	local, err := rep.JSON()
+	local, err := localReport(profile, seed, only, jobs)
 	if err != nil {
 		return err
 	}
@@ -144,6 +159,165 @@ func run(addr, runList, profile string, seed uint64, jobs int, verify, wantCache
 		return fmt.Errorf("served and local reports differ — determinism contract broken")
 	}
 	fmt.Printf("OK: served report is byte-identical to the local run (%d bytes)\n", len(local))
+	return nil
+}
+
+// localReport runs (profile, seed, selection) through the suite
+// in-process and returns the JSON report bytes.
+func localReport(profile string, seed uint64, only []string, jobs int) ([]byte, error) {
+	suite, err := expt.DefaultSuite(profile, seed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := suite.Run(expt.Options{Spec: expt.RunSpec{Seed: seed, Only: only, Jobs: jobs}})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, fmt.Errorf("local run: %w", err)
+	}
+	return rep.JSON()
+}
+
+// campaignRunInfo is the member-run metadata a campaign stream line
+// carries (docs/api.md).
+type campaignRunInfo struct {
+	Index   int    `json:"index"`
+	RunID   string `json:"runId"`
+	Profile string `json:"profile"`
+	Seed    uint64 `json:"seed"`
+	State   string `json:"state"`
+	Cached  bool   `json:"cached"`
+	Error   string `json:"error"`
+}
+
+// campaignStreamEvent is one NDJSON line of GET /campaigns/{id}/stream.
+type campaignStreamEvent struct {
+	Index int              `json:"index"`
+	Total int              `json:"total"`
+	Run   *campaignRunInfo `json:"run"`
+	Done  bool             `json:"done"`
+	State string           `json:"state"`
+	Error string           `json:"error"`
+}
+
+// runCampaign drives the population surface: create a campaign, stream
+// per-run completions, fetch the aggregate, and byte-diff one served
+// member report against an in-process solo run of the same spec.
+func runCampaign(addr, globs, seedList, runList string, baseSeed uint64, verify bool) error {
+	only, err := selection(runList)
+	if err != nil {
+		return err
+	}
+	seeds, err := cli.Seeds(seedList, baseSeed)
+	if err != nil {
+		return err
+	}
+
+	body, err := json.Marshal(struct {
+		Profiles string   `json:"profiles"`
+		Seeds    []uint64 `json:"seeds"`
+		Only     []string `json:"only,omitempty"`
+	}{globs, seeds, only})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(addr+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("POST /campaigns: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("POST /campaigns: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var st struct {
+		ID    string `json:"id"`
+		Total int    `json:"total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decode campaign status: %w", err)
+	}
+	fmt.Printf("campaign %s: %d runs\n", st.ID, st.Total)
+
+	// Stream per-run completions in campaign order; keep the first
+	// member for the byte-diff below.
+	var first *campaignRunInfo
+	sresp, err := http.Get(addr + "/campaigns/" + st.ID + "/stream")
+	if err != nil {
+		return fmt.Errorf("GET /campaigns/%s/stream: %w", st.ID, err)
+	}
+	defer sresp.Body.Close()
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	terminal := false
+	for sc.Scan() {
+		var ev campaignStreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad campaign stream line %q: %w", sc.Text(), err)
+		}
+		if ev.Done {
+			if ev.State != "done" {
+				return fmt.Errorf("campaign finished %s: %s", ev.State, ev.Error)
+			}
+			fmt.Printf("campaign stream complete: state=%s\n", ev.State)
+			terminal = true
+			break
+		}
+		if ev.Run == nil {
+			return fmt.Errorf("campaign stream line without run info: %s", sc.Text())
+		}
+		state := ev.Run.State
+		if ev.Run.Cached {
+			state += " (cached)"
+		}
+		fmt.Printf("  [%d/%d] %s seed %d -> %s: %s\n", ev.Index+1, ev.Total,
+			ev.Run.Profile, ev.Run.Seed, ev.Run.RunID, state)
+		if first == nil {
+			info := *ev.Run
+			first = &info
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("campaign stream read: %w", err)
+	}
+	if !terminal {
+		return fmt.Errorf("campaign stream ended without a terminal event")
+	}
+
+	aggResp, err := http.Get(addr + "/campaigns/" + st.ID + "/report")
+	if err != nil {
+		return fmt.Errorf("GET /campaigns/%s/report: %w", st.ID, err)
+	}
+	defer aggResp.Body.Close()
+	agg, err := io.ReadAll(aggResp.Body)
+	if err != nil {
+		return err
+	}
+	if aggResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /campaigns/%s/report: %s: %s", st.ID, aggResp.Status, bytes.TrimSpace(agg))
+	}
+	fmt.Printf("campaign aggregate report: %d bytes\n", len(agg))
+
+	if !verify || first == nil {
+		return nil
+	}
+
+	// The campaign twin of the solo contract: a member's served report
+	// must be byte-identical to running its spec alone, in-process.
+	served, err := fetchReport(addr, first.RunID)
+	if err != nil {
+		return err
+	}
+	local, err := localReport(first.Profile, first.Seed, only, 0)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(served, local) {
+		reportDiff(served, local)
+		return fmt.Errorf("served campaign member report differs from its solo run — determinism contract broken")
+	}
+	fmt.Printf("OK: campaign member %s is byte-identical to its solo run (%d bytes)\n", first.RunID, len(local))
 	return nil
 }
 

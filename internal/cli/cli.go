@@ -1,0 +1,107 @@
+// Package cli centralizes the flag plumbing the three binaries
+// (cmd/experiments, cmd/dramscope, cmd/dramscoped) share: the
+// -store/-store-readonly pair and its open semantics, uniform profile
+// resolution against the Table I catalog, and the comma-separated list
+// parsers for experiment selections and seed lists. Before this
+// package each binary re-implemented the trio with small divergences
+// (dramscoped lacked -store-readonly, error texts differed); routing
+// all three through one helper makes drift a compile error instead of
+// a doc bug.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dramscope/internal/store"
+	"dramscope/internal/topo"
+)
+
+// StoreFlags is the bound -store/-store-readonly pair.
+type StoreFlags struct {
+	// Dir is the artifact-store directory; empty means no store.
+	Dir string
+	// ReadOnly serves hits without ever writing (CI determinism
+	// checks).
+	ReadOnly bool
+}
+
+// BindStoreFlags registers the shared store flags on a FlagSet with
+// the canonical help texts.
+func BindStoreFlags(fs *flag.FlagSet) *StoreFlags {
+	f := &StoreFlags{}
+	fs.StringVar(&f.Dir, "store", "",
+		"persistent probe-artifact store directory; warm runs skip redundant work (optional)")
+	fs.BoolVar(&f.ReadOnly, "store-readonly", false,
+		"open -store read-only: serve hits, never write (CI determinism checks)")
+	return f
+}
+
+// Open opens the configured store: nil for no store, read-only when
+// requested, and a usage error for -store-readonly without -store —
+// exactly store.OpenDir's contract, shared by all three binaries.
+func (f *StoreFlags) Open() (*store.Store, error) {
+	return store.OpenDir(f.Dir, f.ReadOnly)
+}
+
+// Profile resolves a device-profile name against the Table I catalog
+// with the uniform error every front-end prints.
+func Profile(name string) (topo.Profile, error) {
+	p, ok := topo.ByName(name)
+	if !ok {
+		return topo.Profile{}, fmt.Errorf("unknown profile %q (try -list / GET /profiles)", name)
+	}
+	return p, nil
+}
+
+// Selection parses a -run style comma-separated experiment list:
+// entries are trimmed, empties tolerated ("table1,"), and the "all"
+// sentinel collapses the selection to nil (= every experiment). A list
+// that names nothing and never says "all" is a usage error rather than
+// a silent empty run.
+func Selection(list string) ([]string, error) {
+	var only []string
+	all := false
+	for _, id := range strings.Split(list, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if id == "all" {
+			all = true
+			continue
+		}
+		only = append(only, id)
+	}
+	if all {
+		return nil, nil
+	}
+	if len(only) == 0 {
+		return nil, fmt.Errorf("empty experiment selection (use -list for experiment ids)")
+	}
+	return only, nil
+}
+
+// Seeds parses a -seeds style comma-separated uint64 list. An empty
+// list falls back to the single fallback seed, so `-campaign` without
+// `-seeds` sweeps the profiles at the base -seed.
+func Seeds(list string, fallback uint64) ([]uint64, error) {
+	var out []uint64
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		out = []uint64{fallback}
+	}
+	return out, nil
+}

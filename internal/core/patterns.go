@@ -103,7 +103,6 @@ func MergeSweep(rates *[16][16]stats.BER) (*SweepResult, error) {
 	return out, nil
 }
 
-
 // PatternClass names the physical arrangement a written pattern
 // produces along a wordline (Figure 8's misplacement analysis).
 type PatternClass string

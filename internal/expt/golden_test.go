@@ -4,8 +4,84 @@ import (
 	"bytes"
 	"os"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
+
+// GoldenCampaign is the committed campaign fixture's definition — one
+// representative device per vendor, crossed with two seeds, each run
+// recovering its own device's Table III row. The Makefile's `make
+// golden` regenerates internal/expt/testdata/campaign_report.json from
+// exactly this population via the CLI, and CI's campaign job replays
+// it cold and warm.
+func GoldenCampaign() *Campaign {
+	profiles := []string{"MfrA-DDR4-x4-2016", "MfrB-DDR4-x4-2019", "MfrC-DDR4-x8-2016"}
+	seeds := []uint64{5, 7}
+	c := &Campaign{}
+	for _, prof := range profiles {
+		for _, seed := range seeds {
+			c.Specs = append(c.Specs, RunSpec{Profile: prof, Seed: seed, Only: []string{"recover"}})
+		}
+	}
+	return c
+}
+
+// TestGoldenCampaignReport locks the campaign aggregate to its
+// committed fixture, cold and warm: a store-backed campaign over the
+// golden population must reproduce the fixture byte for byte, and the
+// warm rerun must be all store hits — zero probe commands — with the
+// same bytes. Regenerate deliberately with `make golden`.
+func TestGoldenCampaignReport(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("six catalog-device recoveries (~1 min)")
+	}
+	if raceEnabled {
+		t.Skip("catalog probes under -race exceed the CI budget; TestCampaignWarmStore covers the store path")
+	}
+	want, err := os.ReadFile("testdata/campaign_report.json")
+	if err != nil {
+		t.Fatalf("missing fixture (run `make golden`): %v", err)
+	}
+	st := openStore(t)
+
+	cold, err := GoldenCampaign().Run(CampaignOptions{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Err(); err != nil {
+		t.Fatal(err)
+	}
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, want) {
+		t.Fatalf("cold campaign aggregate diverges from testdata/campaign_report.json; "+
+			"regenerate with `make golden` if intentional.\ngot: %s", coldJSON)
+	}
+
+	var probes atomic.Int64
+	warm, err := GoldenCampaign().Run(CampaignOptions{Store: st, OnRun: func(index, total int, res *CampaignRunResult) {
+		if !res.Cached {
+			t.Errorf("warm campaign run %d executed instead of hitting the store", index)
+		}
+		probes.Add(res.ProbeCost.Total())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := probes.Load(); n != 0 {
+		t.Fatalf("warm campaign issued %d probe commands", n)
+	}
+	warmJSON, err := warm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warmJSON, want) {
+		t.Fatal("warm campaign aggregate diverges from the fixture")
+	}
+}
 
 // TestGoldenSuiteReport locks the full suite report to a committed
 // fixture: the JSON report of every experiment at the default profile

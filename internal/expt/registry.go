@@ -90,6 +90,27 @@ func DefaultSuite(figProfile string, seed uint64) (*Suite, error) {
 		},
 	})
 
+	// recover is the campaign unit: the Table III recovery of the
+	// selected figure device itself, as a one-row table. A campaign
+	// over the catalog runs `-run recover` once per (profile, seed)
+	// spec and rolls the rows up per vendor and generation — any
+	// catalog profile gets a recovery row this way, not just the seven
+	// representative devices table3 covers.
+	reg(Experiment{
+		Name:  "recover",
+		Title: "Recovered structure: " + figProfile,
+		Needs: Needs{Device: figProfile, Probe: ProbeSubarrays},
+		Run: func(j *Job) error {
+			row, err := TableIII(j.Env())
+			if err != nil {
+				return err
+			}
+			j.SetResult(row)
+			j.Emit("recover", RenderTableIII([]*TableIIIRow{row}))
+			return nil
+		},
+	})
+
 	reg(Experiment{
 		Name:  "fig5",
 		Title: "Figure 5: RCD inversion and DQ twisting pitfalls",

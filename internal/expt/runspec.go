@@ -1,0 +1,271 @@
+// RunSpec is the canonical run request: one value that names
+// everything a deterministic suite report is a function of (profile,
+// seed, selection, activation budget) plus the execution hints that
+// can never change a byte (jobs, shards). Every layer consumes it —
+// the CLI flag parsers build one, expt.Options carries one,
+// internal/serve canonicalizes requests into one, and internal/store
+// keys persisted reports by its canonical form — so the repo has
+// exactly one definition of "the same run" instead of a
+// per-layer reimplementation.
+
+package expt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+
+	"dramscope/internal/topo"
+)
+
+// SuiteFactory builds a fresh, unrun Suite for one (profile, seed)
+// pair. Consumers build a new suite per run because a Suite runs
+// exactly once (experiments mutate their shared devices). Production
+// wiring uses DefaultSuite; tests inject small synthetic suites.
+type SuiteFactory func(profile string, seed uint64) (*Suite, error)
+
+// RunSpec describes one suite run. The report-determining fields
+// (Profile, Seed, Only, MaxActivations) feed the canonical form and
+// digest once the selection is resolved (see ResolvedSpec); Jobs and
+// Shards are execution hints — by the determinism contract they trade
+// wall time only, so they are excluded from the canonical form.
+type RunSpec struct {
+	// Profile selects the device profile the figure experiments
+	// measure on.
+	Profile string `json:"profile,omitempty"`
+	// Seed is the suite base seed every experiment seed is split from.
+	Seed uint64 `json:"seed"`
+	// Only selects experiments by name (empty = all); After
+	// dependencies are selected transitively.
+	Only []string `json:"only,omitempty"`
+	// MaxActivations caps the run's metered ACT commands (probe chains
+	// plus each experiment's measurement Env); 0 means unlimited. A run
+	// that crosses the cap fails with a typed *BudgetError. Because the
+	// cap changes what the report contains, it is part of the canonical
+	// form.
+	MaxActivations int64 `json:"maxActivations,omitempty"`
+	// Jobs is the worker count (<= 0 means GOMAXPROCS). Execution hint:
+	// never part of the canonical form.
+	Jobs int `json:"jobs,omitempty"`
+	// Shards caps scheduler nodes per partitioned experiment (<= 0
+	// means the worker count). Execution hint, like Jobs.
+	Shards int `json:"shards,omitempty"`
+}
+
+// Normalized returns the spec with the selection cleaned the way every
+// front-end does it: entries trimmed, empties dropped, and the "all"
+// sentinel collapsing the selection to nil.
+func (sp RunSpec) Normalized() RunSpec {
+	var only []string
+	all := len(sp.Only) == 0
+	for _, id := range sp.Only {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if id == "all" {
+			all = true
+			continue
+		}
+		only = append(only, id)
+	}
+	if all {
+		only = nil
+	}
+	sp.Only = only
+	return sp
+}
+
+// ResolvedSpec is a RunSpec validated against a suite: the requested
+// selection has been expanded to its dependency closure in
+// registration order. Only a resolved spec has a canonical form —
+// resolution is what makes selections with the same closure (e.g.
+// ["table3"] vs table3 plus all its parts) the same run.
+type ResolvedSpec struct {
+	RunSpec
+	// Names is the resolved selection closure, registration order.
+	Names []string
+
+	// The canonical form and digest are immutable once resolved and
+	// sit on serving hot paths (every status snapshot and cache
+	// lookup), so they are computed once.
+	once      sync.Once
+	canonical []byte
+	digest    string
+}
+
+// Resolve validates a spec against this suite and expands its
+// selection. The suite must have been built for the spec's (profile,
+// seed) — Resolve checks the seed (the profile is not recorded on a
+// Suite and is trusted).
+func (s *Suite) Resolve(spec RunSpec) (*ResolvedSpec, error) {
+	spec = spec.Normalized()
+	if spec.Seed != s.seed {
+		return nil, fmt.Errorf("expt: spec seed %d, suite built for seed %d", spec.Seed, s.seed)
+	}
+	if spec.MaxActivations < 0 {
+		return nil, fmt.Errorf("expt: negative activation budget %d", spec.MaxActivations)
+	}
+	names, err := s.Selection(spec.Only)
+	if err != nil {
+		return nil, err
+	}
+	return &ResolvedSpec{RunSpec: spec, Names: names}, nil
+}
+
+// ResolveSpec builds the spec's suite through factory and resolves the
+// spec against it. It is the validation entry point shared by the
+// serve front-end and the campaign runner: unknown profiles and
+// experiment names are rejected here, before any run exists. The
+// returned Suite is fresh and unrun, ready for Suite.Run with this
+// spec.
+func ResolveSpec(spec RunSpec, factory SuiteFactory) (*ResolvedSpec, *Suite, error) {
+	if factory == nil {
+		factory = DefaultSuite
+	}
+	spec = spec.Normalized()
+	suite, err := factory(spec.Profile, spec.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := suite.Resolve(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rs, suite, nil
+}
+
+// canonicalSpec is the canonical JSON shape. Field order is fixed by
+// the struct; the profile is embedded as its full catalog JSON (so any
+// geometry or timing edit changes the digest and orphans stale store
+// entries), falling back to the bare name for profiles outside the
+// catalog (tests).
+type canonicalSpec struct {
+	Profile        json.RawMessage `json:"profile"`
+	Seed           uint64          `json:"seed"`
+	Experiments    []string        `json:"experiments"`
+	MaxActivations int64           `json:"maxActivations,omitempty"`
+}
+
+// Canonical returns the spec's stable canonical JSON form: exactly the
+// report-determining inputs — full profile, seed, resolved selection
+// closure, activation budget — in a fixed field order. It is the single
+// canonicalization site in the repo: the serve LRU key is its digest
+// and the store's report key embeds it verbatim. Computed once per
+// resolved spec; callers must treat the bytes as immutable.
+func (rs *ResolvedSpec) Canonical() []byte {
+	rs.memoize()
+	return rs.canonical
+}
+
+// Digest returns the hex SHA-256 of the canonical form — the stable
+// identity of a run. Two requests share a digest exactly when the
+// determinism contract guarantees them byte-identical reports.
+func (rs *ResolvedSpec) Digest() string {
+	rs.memoize()
+	return rs.digest
+}
+
+func (rs *ResolvedSpec) memoize() {
+	rs.once.Do(func() {
+		prof := json.RawMessage(nil)
+		if p, ok := topo.ByName(rs.Profile); ok {
+			if data, err := json.Marshal(p); err == nil {
+				prof = data
+			}
+		}
+		if prof == nil {
+			name, _ := json.Marshal(rs.Profile)
+			prof = name
+		}
+		names := rs.Names
+		if names == nil {
+			names = []string{}
+		}
+		data, err := json.Marshal(canonicalSpec{
+			Profile:        prof,
+			Seed:           rs.Seed,
+			Experiments:    names,
+			MaxActivations: rs.MaxActivations,
+		})
+		if err != nil {
+			// canonicalSpec is marshalable by construction; a failure
+			// here is a programming error, not an input error.
+			panic(fmt.Sprintf("expt: canonicalize spec: %v", err))
+		}
+		rs.canonical = data
+		sum := sha256.Sum256(data)
+		rs.digest = hex.EncodeToString(sum[:])
+	})
+}
+
+// MatchProfiles expands a comma-separated list of profile-name globs
+// against the Table I catalog, in catalog order without duplicates.
+// The sentinel "all" (or an empty list) selects the whole catalog; a
+// glob that matches nothing is an error, so a typo cannot silently
+// shrink a campaign.
+func MatchProfiles(globs string) ([]string, error) {
+	var pats []string
+	for _, g := range strings.Split(globs, ",") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		if g == "all" {
+			pats = nil
+			break
+		}
+		pats = append(pats, g)
+	}
+	catalog := topo.Catalog()
+	if pats == nil {
+		out := make([]string, len(catalog))
+		for i, p := range catalog {
+			out[i] = p.Name
+		}
+		return out, nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, pat := range pats {
+		matched := false
+		for _, p := range catalog {
+			ok, err := path.Match(pat, p.Name)
+			if err != nil {
+				return nil, fmt.Errorf("expt: bad profile glob %q: %w", pat, err)
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			if !seen[p.Name] {
+				seen[p.Name] = true
+				out = append(out, p.Name)
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("expt: profile glob %q matches nothing in the catalog", pat)
+		}
+	}
+	return out, nil
+}
+
+// BudgetError is the typed failure of a run that exceeded its
+// RunSpec.MaxActivations cap. It appears (wrapped) on the offending
+// experiments' results, so errors.As through Report results — or the
+// Report.BudgetExceeded accessor — distinguishes a budget stop from an
+// experiment bug.
+type BudgetError struct {
+	// Cap is the configured activation budget.
+	Cap int64
+	// Used is the metered ACT total when the cap was crossed.
+	Used int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("activation budget exceeded: %d ACTs used, cap %d", e.Used, e.Cap)
+}

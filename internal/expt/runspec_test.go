@@ -1,0 +1,172 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallFactory adapts smallSuite to the SuiteFactory shape (the
+// profile argument is unused — the small suite always registers
+// topo.Small).
+func smallFactory(t *testing.T) SuiteFactory {
+	return func(profile string, seed uint64) (*Suite, error) {
+		return smallSuite(t, seed, nil), nil
+	}
+}
+
+// TestSpecCanonicalStability: resolving the same spec twice yields
+// identical canonical bytes and digests, and the digest has the
+// SHA-256 hex shape.
+func TestSpecCanonicalStability(t *testing.T) {
+	t.Parallel()
+	spec := RunSpec{Profile: "pop", Seed: 7, Only: []string{"d"}}
+	rs1, _, err := ResolveSpec(spec, smallFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs2, _, err := ResolveSpec(spec, smallFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rs1.Canonical(), rs2.Canonical()) {
+		t.Fatalf("canonical form unstable:\n%s\n%s", rs1.Canonical(), rs2.Canonical())
+	}
+	if rs1.Digest() != rs2.Digest() {
+		t.Fatal("digest unstable")
+	}
+	if len(rs1.Digest()) != 64 || strings.ToLower(rs1.Digest()) != rs1.Digest() {
+		t.Fatalf("digest %q is not lowercase sha256 hex", rs1.Digest())
+	}
+	// The resolved closure — not the raw selection — is canonicalized.
+	if want := []string{"a", "b", "c", "d"}; strings.Join(rs1.Names, ",") != strings.Join(want, ",") {
+		t.Fatalf("resolved names %v, want %v", rs1.Names, want)
+	}
+}
+
+// TestSpecDigestEquivalenceClasses: the digest identifies exactly the
+// report-determining inputs. Selections with the same closure share a
+// digest; execution hints never change it; profile, seed, selection,
+// and budget each do.
+func TestSpecDigestEquivalenceClasses(t *testing.T) {
+	t.Parallel()
+	digest := func(spec RunSpec) string {
+		rs, _, err := ResolveSpec(spec, smallFactory(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.Digest()
+	}
+	base := digest(RunSpec{Profile: "pop", Seed: 7, Only: []string{"d"}})
+
+	same := []RunSpec{
+		{Profile: "pop", Seed: 7, Only: []string{"a", "b", "c", "d"}}, // same closure
+		{Profile: "pop", Seed: 7, Only: []string{"d"}, Jobs: 8},       // hint
+		{Profile: "pop", Seed: 7, Only: []string{"d"}, Shards: 32},    // hint
+		{Profile: "pop", Seed: 7, Only: []string{" d ", ""}},          // normalization
+	}
+	for i, sp := range same {
+		if got := digest(sp); got != base {
+			t.Errorf("spec %d: digest %s, want %s (must match base)", i, got, base)
+		}
+	}
+
+	// Note "all" is NOT in this list: in the small suite, d's closure
+	// is every experiment, so ["d"] and "all" are the same run and
+	// must share a digest.
+	different := []RunSpec{
+		{Profile: "pop2", Seed: 7, Only: []string{"d"}},                    // profile
+		{Profile: "pop", Seed: 8, Only: []string{"d"}},                     // seed
+		{Profile: "pop", Seed: 7, Only: []string{"c"}},                     // selection
+		{Profile: "pop", Seed: 7, Only: []string{"d"}, MaxActivations: 10}, // budget
+	}
+	seen := map[string]int{base: -1}
+	for i, sp := range different {
+		got := digest(sp)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("spec %d: digest collides with spec %d", i, prev)
+		}
+		seen[got] = i
+	}
+}
+
+// TestSpecCatalogProfileEmbedded: canonical forms of catalog profiles
+// embed the full profile JSON, so a geometry edit would change the
+// digest; unknown profiles fall back to the bare name.
+func TestSpecCatalogProfileEmbedded(t *testing.T) {
+	t.Parallel()
+	rs, _, err := ResolveSpec(RunSpec{Profile: DefaultFigProfile, Seed: 7, Only: []string{"table1"}}, DefaultSuite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := string(rs.Canonical())
+	if !strings.Contains(c, `"MATWidth"`) {
+		t.Fatalf("catalog canonical form does not embed the profile parameters: %s", c)
+	}
+	rs2, _, err := ResolveSpec(RunSpec{Profile: "pop", Seed: 7}, smallFactory(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rs2.Canonical()); !strings.Contains(got, `"profile":"pop"`) {
+		t.Fatalf("non-catalog canonical form should carry the bare name: %s", got)
+	}
+}
+
+// TestResolveSpecValidation: unknown selections and mismatched seeds
+// are rejected at resolution time.
+func TestResolveSpecValidation(t *testing.T) {
+	t.Parallel()
+	if _, _, err := ResolveSpec(RunSpec{Seed: 7, Only: []string{"nope"}}, smallFactory(t)); err == nil {
+		t.Error("unknown experiment not rejected")
+	}
+	if _, _, err := ResolveSpec(RunSpec{Seed: 7, MaxActivations: -1}, smallFactory(t)); err == nil {
+		t.Error("negative budget not rejected")
+	}
+	s := smallSuite(t, 7, nil)
+	if _, err := s.Resolve(RunSpec{Seed: 8}); err == nil {
+		t.Error("seed mismatch not rejected by Suite.Resolve")
+	}
+	if _, err := s.Run(Options{Spec: RunSpec{Seed: 8}}); err == nil {
+		t.Error("seed mismatch not rejected by Suite.Run")
+	}
+}
+
+// TestMatchProfiles: glob expansion over the catalog is ordered,
+// deduplicated, and rejects non-matching patterns.
+func TestMatchProfiles(t *testing.T) {
+	t.Parallel()
+	all, err := MatchProfiles("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 10 {
+		t.Fatalf("catalog expansion returned %d profiles", len(all))
+	}
+	some, err := MatchProfiles("MfrA-DDR4-x4-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) == 0 || len(some) >= len(all) {
+		t.Fatalf("glob matched %d of %d", len(some), len(all))
+	}
+	for _, name := range some {
+		if !strings.HasPrefix(name, "MfrA-DDR4-x4-") {
+			t.Fatalf("glob over-matched %s", name)
+		}
+	}
+	// Overlapping globs do not duplicate, and order is catalog order.
+	dup, err := MatchProfiles("MfrA-DDR4-x4-*,MfrA-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, name := range dup {
+		if seen[name] {
+			t.Fatalf("duplicate %s in expansion", name)
+		}
+		seen[name] = true
+	}
+	if _, err := MatchProfiles("NoSuchChip-*"); err == nil {
+		t.Error("non-matching glob not rejected")
+	}
+}

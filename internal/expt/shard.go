@@ -56,6 +56,11 @@ type ShardJob struct {
 	of   int
 	seed uint64
 	env  *Env
+
+	// clones records the measurement Envs this unit created, so the
+	// scheduler can charge their activations against the run's budget
+	// after the unit completes. A unit runs on one goroutine; no lock.
+	clones []*Env
 }
 
 // Name returns the owning experiment's registered name.
@@ -88,5 +93,20 @@ func (sj *ShardJob) CloneEnv() (*Env, error) {
 	if sj.env == nil {
 		return nil, fmt.Errorf("expt: %s unit %d has no device Env to clone", sj.name, sj.unit)
 	}
-	return sj.env.Clone()
+	c, err := sj.env.Clone()
+	if err != nil {
+		return nil, err
+	}
+	sj.clones = append(sj.clones, c)
+	return c, nil
+}
+
+// acts sums the activations this unit's measurement clones issued —
+// the unit's contribution to the run's activation budget.
+func (sj *ShardJob) acts() int64 {
+	var total int64
+	for _, c := range sj.clones {
+		total += c.Commands().ACT
+	}
+	return total
 }

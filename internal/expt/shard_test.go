@@ -90,7 +90,7 @@ func TestCrossShardSuiteDeterministic(t *testing.T) {
 	t.Parallel()
 	run := func(jobs, shards int) (string, []byte) {
 		t.Helper()
-		rep, err := partSuite(t, 7).Run(Options{Jobs: jobs, Shards: shards})
+		rep, err := partSuite(t, 7).Run(Options{Spec: RunSpec{Jobs: jobs, Shards: shards}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +129,7 @@ func TestCrossShardSuiteDeterministic(t *testing.T) {
 // stays readable).
 func run2(t *testing.T, seed uint64) (string, []byte) {
 	t.Helper()
-	rep, err := partSuite(t, seed).Run(Options{Jobs: 2, Shards: 3})
+	rep, err := partSuite(t, seed).Run(Options{Spec: RunSpec{Jobs: 2, Shards: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestCrossShardFig16(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := s.Run(Options{Jobs: jobs, Shards: shards})
+		rep, err := s.Run(Options{Spec: RunSpec{Jobs: jobs, Shards: shards}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -233,7 +233,7 @@ func TestCrossShardUnitFailure(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := s.Run(Options{Jobs: jobs, Shards: shards})
+		rep, err := s.Run(Options{Spec: RunSpec{Jobs: jobs, Shards: shards}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -281,7 +281,7 @@ func TestCrossShardEnvFailureSurfacesRootCause(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := s.Run(Options{Jobs: 2, Shards: shards})
+		rep, err := s.Run(Options{Spec: RunSpec{Jobs: 2, Shards: shards}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +317,7 @@ func TestShardSeedsAreUnitSeeds(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.Run(Options{Jobs: jobs, Shards: shards}); err != nil {
+		if _, err := s.Run(Options{Spec: RunSpec{Jobs: jobs, Shards: shards}}); err != nil {
 			t.Fatal(err)
 		}
 		return seeds

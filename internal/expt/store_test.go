@@ -228,7 +228,7 @@ func TestSuiteStoreByteIdentity(t *testing.T) {
 
 	st := openStore(t)
 	coldSuite := smallSuite(t, 7, nil)
-	coldRep, err := coldSuite.Run(Options{Jobs: 4, Store: st})
+	coldRep, err := coldSuite.Run(Options{Spec: RunSpec{Jobs: 4}, Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestSuiteStoreByteIdentity(t *testing.T) {
 	}
 
 	warmSuite := smallSuite(t, 7, nil)
-	warmRep, err := warmSuite.Run(Options{Jobs: 4, Store: st})
+	warmRep, err := warmSuite.Run(Options{Spec: RunSpec{Jobs: 4}, Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestSuiteStoreByteIdentity(t *testing.T) {
 		t.Fatal(err)
 	}
 	roSuite := smallSuite(t, 7, nil)
-	roRep, err := roSuite.Run(Options{Jobs: 4, Store: ro})
+	roRep, err := roSuite.Run(Options{Spec: RunSpec{Jobs: 4}, Store: ro})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestStoreConcurrentSuites(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reps[i], errs[i] = suites[i].Run(Options{Jobs: 2, Store: st})
+			reps[i], errs[i] = suites[i].Run(Options{Spec: RunSpec{Jobs: 2}, Store: st})
 		}(i)
 	}
 	wg.Wait()
@@ -322,7 +322,7 @@ func TestStoreConcurrentSuites(t *testing.T) {
 
 	// And the store is warm for whoever comes next.
 	after := smallSuite(t, 7, nil)
-	if _, err := after.Run(Options{Jobs: 2, Store: st}); err != nil {
+	if _, err := after.Run(Options{Spec: RunSpec{Jobs: 2}, Store: st}); err != nil {
 		t.Fatal(err)
 	}
 	if cost := after.ProbeCost(); cost.Total() != 0 {
@@ -373,7 +373,7 @@ func TestGoldenWarmStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmRep, err := warm.Run(Options{Jobs: 3, Shards: 5, Store: st})
+	warmRep, err := warm.Run(Options{Spec: RunSpec{Jobs: 3, Shards: 5}, Store: st})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,7 @@ package expt
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -258,6 +259,16 @@ type Suite struct {
 	ctx      context.Context // set by Run; never nil while running
 	store    *store.Store    // set by Run; may be nil
 
+	// budgetCap is the run's activation budget (Spec.MaxActivations);
+	// 0 means unlimited. actsUsed meters the ACT commands the run has
+	// been charged for so far — probe-chain deltas per shared Env
+	// (tracked in envCharged so a warm-up is charged exactly once) plus
+	// each experiment's and unit's measurement clone. All three are
+	// guarded by mu.
+	budgetCap  int64
+	actsUsed   int64
+	envCharged map[*Env]int64
+
 	mu      sync.Mutex
 	envs    map[string]*Env
 	results map[string]interface{}
@@ -266,11 +277,12 @@ type Suite struct {
 // NewSuite creates an empty suite with the given base seed.
 func NewSuite(seed uint64) *Suite {
 	return &Suite{
-		seed:     seed,
-		idx:      make(map[string]int),
-		profiles: make(map[string]topo.Profile),
-		envs:     make(map[string]*Env),
-		results:  make(map[string]interface{}),
+		seed:       seed,
+		idx:        make(map[string]int),
+		profiles:   make(map[string]topo.Profile),
+		envs:       make(map[string]*Env),
+		envCharged: make(map[*Env]int64),
+		results:    make(map[string]interface{}),
 	}
 }
 
@@ -456,18 +468,80 @@ func (s *Suite) ProbeCost() host.Counters {
 	return total
 }
 
+// chargeActs adds delta metered activations and reports the budget
+// error once the cap is crossed (nil when no cap is set). The Used
+// value is the meter at the time of this charge, so on a serial chain
+// the message — and with it the report — is deterministic.
+func (s *Suite) chargeActs(delta int64) *BudgetError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.actsUsed += delta
+	return s.overBudgetLocked()
+}
+
+// chargeEnv charges the commands a shared device Env has issued since
+// it was last charged — the probe-chain cost, which Warm pays once but
+// every experiment on the device observes.
+func (s *Suite) chargeEnv(e *Env) *BudgetError {
+	acts := e.Commands().ACT
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.actsUsed += acts - s.envCharged[e]
+	s.envCharged[e] = acts
+	return s.overBudgetLocked()
+}
+
+// overBudget reports whether the meter has already crossed the cap —
+// the pre-flight check that lets a blown budget stop work that has not
+// started.
+func (s *Suite) overBudget() *BudgetError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overBudgetLocked()
+}
+
+func (s *Suite) overBudgetLocked() *BudgetError {
+	if s.budgetCap > 0 && s.actsUsed > s.budgetCap {
+		return &BudgetError{Cap: s.budgetCap, Used: s.actsUsed}
+	}
+	return nil
+}
+
+// ActivationsUsed returns the metered ACT total the budget accounting
+// has charged so far: probe chains on shared devices plus every
+// experiment's and unit's measurement Env. Devices an experiment
+// builds privately (fig5, defense) are outside the meter. Out-of-band
+// metadata, like ProbeCost.
+func (s *Suite) ActivationsUsed() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.actsUsed
+}
+
+// BudgetExceeded returns the first (registration-order) budget error
+// in the report, or nil. It is how callers — cmd/experiments' exit
+// path, the service's error mapping — distinguish a budget stop from
+// an experiment bug.
+func (r *Report) BudgetExceeded() *BudgetError {
+	for _, res := range r.Results {
+		var be *BudgetError
+		if res.Err != nil && errors.As(res.Err, &be) {
+			return be
+		}
+	}
+	return nil
+}
+
 // Options configures one Suite run.
 type Options struct {
-	// Jobs is the worker count; <= 0 means GOMAXPROCS.
-	Jobs int
-	// Shards caps how many scheduler nodes a partitioned experiment's
-	// units are batched onto; <= 0 means the worker count. Results are
-	// identical for any value (see Partition); Shards only trades
-	// scheduling overhead against fan-out granularity.
-	Shards int
-	// Only selects experiments by name (nil / empty = all). After
-	// dependencies of a selected experiment are selected transitively.
-	Only []string
+	// Spec is the run request: the selection (Only), the execution
+	// hints (Jobs, Shards), and the activation budget
+	// (MaxActivations). The suite must have been built for the spec's
+	// profile and seed — a non-zero Spec.Seed that disagrees with the
+	// suite's is rejected, so a spec cannot silently drift from the
+	// suite a factory built for it. Spec.Profile is informational at
+	// this layer (the registry already bound the devices).
+	Spec RunSpec
 	// Context, when non-nil, cancels the run: scheduled steps that have
 	// not started when it is done are not executed, and the affected
 	// experiments carry the context's error in the report. A context
@@ -559,21 +633,29 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 	if s.ran {
 		return nil, fmt.Errorf("suite: already ran; build a fresh Suite per run")
 	}
+	spec := opt.Spec.Normalized()
+	if spec.Seed != 0 && spec.Seed != s.seed {
+		return nil, fmt.Errorf("suite: spec seed %d, suite built for seed %d", spec.Seed, s.seed)
+	}
+	if spec.MaxActivations < 0 {
+		return nil, fmt.Errorf("suite: negative activation budget %d", spec.MaxActivations)
+	}
 	s.ran = true
+	s.budgetCap = spec.MaxActivations
 	s.ctx = opt.Context
 	if s.ctx == nil {
 		s.ctx = context.Background()
 	}
 	s.store = opt.Store
-	jobs := opt.Jobs
+	jobs := spec.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	shards := opt.Shards
+	shards := spec.Shards
 	if shards <= 0 {
 		shards = jobs
 	}
-	nodes, err := s.plan(opt.Only, shards)
+	nodes, err := s.plan(spec.Only, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -699,9 +781,46 @@ func (s *Suite) runNode(n *node) {
 		n.res.Err = fmt.Errorf("skipped: dependency %s failed", n.failedDep)
 		return
 	}
+	// Pre-flight budget check: once the meter has crossed the cap,
+	// steps that have not started fail instead of issuing more
+	// commands. Merge nodes are exempt — they issue no commands, and
+	// failing them here would mask their units' (budget) errors. Note
+	// that which step first observes a mid-run crossing can depend on
+	// scheduling; a budget-stopped report is deterministic on a serial
+	// chain (-jobs 1) and for caps that stop the run at its first
+	// charge, but not in general — the budget bounds device work, it is
+	// not part of the byte-stability contract.
+	if n.part == nil {
+		if be := s.overBudget(); be != nil {
+			if n.shard != nil {
+				for i := n.shard.lo; i < n.shard.hi; i++ {
+					n.shard.state.outs[i] = unitOut{err: be}
+				}
+				return
+			}
+			n.res.Err = be
+			return
+		}
+	}
 	j := n.job
+	// A merge node whose units already failed under a blown budget
+	// must not warm the device itself: if every shard failed its
+	// pre-flight before the env was ever acquired, the merge's warm-up
+	// would issue the full probe chain — exactly the device work the
+	// budget exists to bound. It skips straight to surfacing the unit
+	// failure. (When the units succeeded, the env is already warm and
+	// the warm-up below is a no-op, so the merge proceeds normally.)
+	skipWarm := false
+	if n.part != nil && s.overBudget() != nil {
+		for i := range n.part.outs {
+			if n.part.outs[i].err != nil {
+				skipWarm = true
+				break
+			}
+		}
+	}
 	var env *Env
-	if dev := n.exp.Needs.Device; dev != "" {
+	if dev := n.exp.Needs.Device; dev != "" && !skipWarm {
 		var err error
 		env, err = s.env(dev)
 		if err == nil {
@@ -729,6 +848,22 @@ func (s *Suite) runNode(n *node) {
 				return
 			}
 			n.res.Err = err
+			return
+		}
+		// The warm-up just charged its probe chain (once per device —
+		// chargeEnv meters the delta since the last charge). A chain
+		// that itself blows the cap fails the experiment that warmed
+		// it. Merge nodes are exempt again: their units already carry
+		// the budget error, and the merge must surface it as a unit
+		// failure, deterministically.
+		if be := s.chargeEnv(env); be != nil && n.part == nil {
+			if n.shard != nil {
+				for i := n.shard.lo; i < n.shard.hi; i++ {
+					n.shard.state.outs[i] = unitOut{err: be}
+				}
+				return
+			}
+			n.res.Err = be
 			return
 		}
 		if j != nil {
@@ -763,8 +898,21 @@ func (s *Suite) runNode(n *node) {
 			}
 			j.env = me
 		}
-		if err := runProtected(n.exp.Run, j); err != nil {
+		err := runProtected(n.exp.Run, j)
+		var be *BudgetError
+		if env != nil {
+			// Charge the measurement clone's activations whether or not
+			// the run succeeded — the device work happened either way.
+			// An experiment whose measurement crossed the cap is the
+			// offending one and fails with the typed error.
+			be = s.chargeActs(j.env.Commands().ACT)
+		}
+		if err != nil {
 			n.res.Err = err
+			return
+		}
+		if be != nil {
+			n.res.Err = be
 			return
 		}
 	}
@@ -788,6 +936,12 @@ func (s *Suite) runShard(n *node, env *Env) {
 	sr := n.shard
 	base := rng.Split(s.seed, "expt:"+n.exp.Name)
 	for i := sr.lo; i < sr.hi; i++ {
+		// Units left after a budget crossing fail without running —
+		// the per-unit counterpart of runNode's pre-flight check.
+		if be := s.overBudget(); be != nil {
+			sr.state.outs[i] = unitOut{err: be}
+			continue
+		}
 		sj := &ShardJob{
 			name: n.exp.Name,
 			unit: i,
@@ -796,6 +950,11 @@ func (s *Suite) runShard(n *node, env *Env) {
 			env:  env,
 		}
 		val, err := runUnitProtected(n.exp.Part.Unit, sj)
+		// Charge the unit's measurement clones unconditionally; a unit
+		// whose measurement crossed the cap fails with the typed error.
+		if be := s.chargeActs(sj.acts()); err == nil && be != nil {
+			val, err = nil, error(be)
+		}
 		sr.state.outs[i] = unitOut{val: val, err: err}
 	}
 }
@@ -807,7 +966,9 @@ func (s *Suite) runMerge(n *node) {
 	outs := n.part.outs
 	for i := range outs {
 		if outs[i].err != nil {
-			n.res.Err = fmt.Errorf("unit %d/%d: %v", i, len(outs), outs[i].err)
+			// %w keeps typed unit failures (context errors, budget
+			// errors) visible to errors.As without changing the message.
+			n.res.Err = fmt.Errorf("unit %d/%d: %w", i, len(outs), outs[i].err)
 			return
 		}
 	}

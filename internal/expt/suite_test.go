@@ -98,7 +98,7 @@ func smallSuite(t *testing.T, seed uint64, order *[]string) *Suite {
 
 func runSmall(t *testing.T, seed uint64, jobs int, order *[]string) *Report {
 	t.Helper()
-	rep, err := smallSuite(t, seed, order).Run(Options{Jobs: jobs})
+	rep, err := smallSuite(t, seed, order).Run(Options{Spec: RunSpec{Jobs: jobs}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestSuiteDeviceChainOrder(t *testing.T) {
 // are rejected.
 func TestSuiteSelectionExpansion(t *testing.T) {
 	t.Parallel()
-	rep, err := smallSuite(t, 7, nil).Run(Options{Jobs: 2, Only: []string{"d"}})
+	rep, err := smallSuite(t, 7, nil).Run(Options{Spec: RunSpec{Jobs: 2, Only: []string{"d"}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestSuiteSelectionExpansion(t *testing.T) {
 		}
 	}
 
-	if _, err := smallSuite(t, 7, nil).Run(Options{Only: []string{"nope"}}); err == nil {
+	if _, err := smallSuite(t, 7, nil).Run(Options{Spec: RunSpec{Only: []string{"nope"}}}); err == nil {
 		t.Error("unknown experiment name not rejected")
 	}
 }
@@ -226,7 +226,7 @@ func TestSuiteFailurePropagation(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(Options{Jobs: 4})
+	rep, err := s.Run(Options{Spec: RunSpec{Jobs: 4}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestSuiteFailureBlameDeterministic(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := s.Run(Options{Jobs: jobs})
+		rep, err := s.Run(Options{Spec: RunSpec{Jobs: jobs}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +317,7 @@ func TestSuitePanicContained(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(Options{Jobs: 2})
+	rep, err := s.Run(Options{Spec: RunSpec{Jobs: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestSuiteResultNeedsDeclaredDependency(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := s.Run(Options{Jobs: 1})
+	rep, err := s.Run(Options{Spec: RunSpec{Jobs: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -524,7 +524,7 @@ func TestDefaultSuiteCheapSubset(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := s.Run(Options{Jobs: jobs, Only: []string{"table1", "fig5", "defense"}})
+		rep, err := s.Run(Options{Spec: RunSpec{Jobs: jobs, Only: []string{"table1", "fig5", "defense"}}})
 		if err != nil {
 			t.Fatal(err)
 		}

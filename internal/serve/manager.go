@@ -12,16 +12,11 @@ import (
 	"dramscope/internal/store"
 )
 
-// SuiteFactory builds a fresh, unrun Suite for one (profile, seed)
-// pair. The manager builds a new suite per run because a Suite runs
-// exactly once (experiments mutate their shared devices). Production
-// wiring uses expt.DefaultSuite; tests inject small synthetic suites.
-type SuiteFactory func(profile string, seed uint64) (*expt.Suite, error)
-
 // Manager owns every run the server has accepted: it validates and
-// admits requests, schedules them against a bounded worker budget
-// shared across all concurrent runs, supports cancellation, and
-// serves repeated requests from an LRU result cache.
+// admits requests (canonicalized into expt.RunSpec), schedules them
+// against a bounded worker budget shared across all concurrent runs
+// and campaigns, supports cancellation, and serves repeated requests
+// from an LRU result cache keyed by the spec digest.
 type Manager struct {
 	factory SuiteFactory
 	// budget is the shared worker-token pool. A run blocks until it
@@ -49,6 +44,21 @@ type Manager struct {
 	runs  map[string]*run
 	order []string // run ids in admission order, for GET /runs
 	next  int
+
+	// pinned holds run ids retention must not evict: members of a
+	// still-queryable campaign, whose per-run reports clients fetch as
+	// the campaign stream surfaces their ids (a warm campaign's
+	// members are terminal the moment they are admitted, so without
+	// the pin a small -retain could evict early members before any
+	// client sees them). Pins are released when the campaign itself is
+	// evicted by pruneCampaigns.
+	pinned map[string]bool
+
+	// campaigns mirror runs: admission-ordered, retained up to the
+	// same cap.
+	campaigns     map[string]*campaign
+	campaignOrder []string
+	nextCampaign  int
 }
 
 // defaultRetainTerminal is the default retention cap for finished
@@ -70,11 +80,13 @@ func NewManager(factory SuiteFactory, budget, cacheSize int) *Manager {
 		cacheSize = 0
 	}
 	m := &Manager{
-		factory: factory,
-		budget:  make(chan struct{}, budget),
-		cache:   newResultCache(cacheSize),
-		retain:  defaultRetainTerminal,
-		runs:    make(map[string]*run),
+		factory:   factory,
+		budget:    make(chan struct{}, budget),
+		cache:     newResultCache(cacheSize),
+		retain:    defaultRetainTerminal,
+		runs:      make(map[string]*run),
+		pinned:    make(map[string]bool),
+		campaigns: make(map[string]*campaign),
 	}
 	for i := 0; i < budget; i++ {
 		m.budget <- struct{}{}
@@ -85,7 +97,7 @@ func NewManager(factory SuiteFactory, budget, cacheSize int) *Manager {
 // run is one admitted request's lifecycle state.
 type run struct {
 	id     string
-	norm   *normalized
+	spec   *expt.ResolvedSpec
 	cached bool
 	cancel context.CancelFunc
 
@@ -96,6 +108,7 @@ type run struct {
 	lines     [][]byte // per-experiment NDJSON payloads, by report index
 	report    []byte
 	errMsg    string
+	errKind   string
 }
 
 // bump wakes every waiter (stream handlers, tests). Callers hold r.mu.
@@ -110,17 +123,20 @@ func (r *run) status(withReport bool) RunStatus {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	st := RunStatus{
-		ID:          r.id,
-		State:       r.state,
-		Profile:     r.norm.Profile,
-		Seed:        r.norm.Seed,
-		Jobs:        r.norm.Jobs,
-		Shards:      r.norm.Shards,
-		Experiments: r.norm.Names,
-		Total:       len(r.norm.Names),
-		Completed:   r.completed,
-		Cached:      r.cached,
-		Error:       r.errMsg,
+		ID:             r.id,
+		State:          r.state,
+		Profile:        r.spec.Profile,
+		Seed:           r.spec.Seed,
+		Digest:         r.spec.Digest(),
+		Jobs:           r.spec.Jobs,
+		Shards:         r.spec.Shards,
+		MaxActivations: r.spec.MaxActivations,
+		Experiments:    r.spec.Names,
+		Total:          len(r.spec.Names),
+		Completed:      r.completed,
+		Cached:         r.cached,
+		Error:          r.errMsg,
+		ErrorKind:      r.errKind,
 	}
 	if withReport && r.report != nil && r.state != StateCanceled {
 		st.Report = json.RawMessage(r.report)
@@ -128,15 +144,29 @@ func (r *run) status(withReport bool) RunStatus {
 	return st
 }
 
-// Start admits one run request: validate, check the cache, and either
-// return a pre-completed cached run or launch the suite on the shared
-// worker pool. The returned run is already registered and queryable.
+// Start admits one run request: validate (canonicalizing into a
+// ResolvedSpec), then admit.
 func (m *Manager) Start(req RunRequest) (*run, error) {
-	norm, suite, err := normalize(req, m.factory)
+	rs, suite, err := resolveRequest(req, m.factory)
 	if err != nil {
 		return nil, err
 	}
+	return m.admit(rs, suite), nil
+}
 
+// admit registers one resolved spec: check the cache, and either
+// return a pre-completed cached run or launch the suite on the shared
+// worker pool. The returned run is already registered and queryable.
+func (m *Manager) admit(rs *expt.ResolvedSpec, suite *expt.Suite) *run {
+	return m.admitRun(rs, suite, false)
+}
+
+// admitRun is admit with retention pinning: campaign members are
+// registered pinned (before the admission-time prune runs) so a
+// streaming client can always fetch a member's report while its
+// campaign is live, and every member is otherwise an ordinary run
+// with its own id, report, and stream.
+func (m *Manager) admitRun(rs *expt.ResolvedSpec, suite *expt.Suite, pinned bool) *run {
 	m.mu.Lock()
 	m.next++
 	id := fmt.Sprintf("r%06d", m.next)
@@ -144,15 +174,15 @@ func (m *Manager) Start(req RunRequest) (*run, error) {
 
 	r := &run{
 		id:      id,
-		norm:    norm,
+		spec:    rs,
 		changed: make(chan struct{}),
 		state:   StateRunning,
-		lines:   make([][]byte, len(norm.Names)),
+		lines:   make([][]byte, len(rs.Names)),
 	}
 
-	e, hit := m.cache.get(norm.key())
+	e, hit := m.cache.get(rs.Digest())
 	if !hit {
-		e, hit = m.loadStored(norm)
+		e, hit = m.loadStored(rs)
 	}
 	if hit {
 		r.cached = true
@@ -170,16 +200,19 @@ func (m *Manager) Start(req RunRequest) (*run, error) {
 	m.mu.Lock()
 	m.runs[id] = r
 	m.order = append(m.order, id)
+	if pinned {
+		m.pinned[id] = true
+	}
 	m.mu.Unlock()
 	m.prune()
-	return r, nil
+	return r
 }
 
-// storeKey maps a normalized request to its persistent-store key: the
-// same (profile, seed, resolved selection closure) triple the LRU key
-// canonicalizes.
-func storeKey(norm *normalized) store.ReportKey {
-	return store.ReportKey{Profile: norm.Profile, Seed: norm.Seed, Experiments: norm.Names}
+// storeKey maps a resolved spec to its persistent-store key: the
+// spec's canonical form, verbatim — the same bytes whose digest keys
+// the in-memory LRU. One canonicalization site for both caches.
+func storeKey(rs *expt.ResolvedSpec) store.ReportKey {
+	return store.ReportKey{Spec: rs.Canonical()}
 }
 
 // loadStored consults the persistent store for a finished report and,
@@ -188,19 +221,19 @@ func storeKey(norm *normalized) store.ReportKey {
 // promotes it into the LRU. Any inconsistency — report shape, count or
 // name mismatch against the resolved selection — is a miss; the run
 // then executes normally and overwrites the entry.
-func (m *Manager) loadStored(norm *normalized) (*cacheEntry, bool) {
+func (m *Manager) loadStored(rs *expt.ResolvedSpec) (*cacheEntry, bool) {
 	if m.artifacts == nil {
 		return nil, false
 	}
-	report, ok := m.artifacts.LoadReport(storeKey(norm))
+	report, ok := m.artifacts.LoadReport(storeKey(rs))
 	if !ok {
 		return nil, false
 	}
-	lines, err := linesFromReport(report, norm.Names)
+	lines, err := linesFromReport(report, rs.Names)
 	if err != nil {
 		return nil, false
 	}
-	e := &cacheEntry{key: norm.key(), names: norm.Names, report: report, lines: lines}
+	e := &cacheEntry{key: rs.Digest(), names: rs.Names, report: report, lines: lines}
 	m.cache.add(e)
 	return e, true
 }
@@ -257,6 +290,9 @@ func (m *Manager) prune() {
 	}
 	var terminal []string
 	for _, id := range m.order {
+		if m.pinned[id] {
+			continue
+		}
 		r := m.runs[id]
 		r.mu.Lock()
 		done := r.state != StateRunning
@@ -318,17 +354,17 @@ func (m *Manager) release(n int) {
 
 // exec runs one admitted request to completion on the shared pool.
 func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
-	workers := m.acquire(ctx, r.norm.Jobs)
+	workers := m.acquire(ctx, r.spec.Jobs)
 	if workers == 0 {
 		r.finish(StateCanceled, nil, context.Canceled.Error())
 		return
 	}
 	defer m.release(workers)
 
+	spec := r.spec.RunSpec
+	spec.Jobs = workers
 	rep, err := suite.Run(expt.Options{
-		Jobs:     workers,
-		Shards:   r.norm.Shards,
-		Only:     r.norm.Only,
+		Spec:     spec,
 		Context:  ctx,
 		OnResult: r.onResult,
 		Store:    m.artifacts,
@@ -347,23 +383,35 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 		}
 		if rerr := rep.Err(); rerr != nil {
 			// Per-experiment failures: the report (with embedded
-			// errors) is still served, like cmd/experiments -json.
+			// errors) is still served, like cmd/experiments -json. A
+			// budget stop is classified so clients can tell "raise the
+			// cap" from "fix the experiment".
+			if rep.BudgetExceeded() != nil {
+				r.setErrKind(ErrorKindBudget)
+			}
 			r.finish(StateFailed, data, rerr.Error())
 			return
 		}
 		r.finish(StateDone, data, "")
 		m.cache.add(&cacheEntry{
-			key:    r.norm.key(),
-			names:  r.norm.Names,
+			key:    r.spec.Digest(),
+			names:  r.spec.Names,
 			report: data,
 			lines:  r.snapshotLines(),
 		})
 		if m.artifacts != nil {
 			// Write-through, best-effort: a full disk must not fail a
 			// finished run, it only costs the next process a re-run.
-			_ = m.artifacts.SaveReport(storeKey(r.norm), data)
+			_ = m.artifacts.SaveReport(storeKey(r.spec), data)
 		}
 	}
+}
+
+// setErrKind records a machine-actionable failure classification.
+func (r *run) setErrKind(kind string) {
+	r.mu.Lock()
+	r.errKind = kind
+	r.mu.Unlock()
 }
 
 // onResult is the suite's per-experiment completion callback: marshal
@@ -458,8 +506,8 @@ func (r *run) wait(from int) (lines [][]byte, terminal *StreamEvent, changed <-c
 	}
 	if r.state != StateRunning && from+len(lines) == r.terminalReadyLocked() {
 		terminal = &StreamEvent{
-			Index: len(r.norm.Names),
-			Total: len(r.norm.Names),
+			Index: len(r.spec.Names),
+			Total: len(r.spec.Names),
 			Done:  true,
 			State: r.state,
 			Error: r.errMsg,

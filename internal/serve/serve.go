@@ -1,18 +1,23 @@
 // Package serve wraps the experiment Suite in a long-running HTTP
 // service — the artifact pipeline as infrastructure instead of a
-// one-shot CLI. Clients POST a run request (profile, seed, selection,
-// jobs/shards), poll or stream its progress, and fetch the finished
-// report; cmd/dramscoped is the binary front-end.
+// one-shot CLI. Clients POST a run request (canonicalized into
+// expt.RunSpec: profile, seed, selection, jobs/shards, activation
+// budget), poll or stream its progress, and fetch the finished
+// report; POST /campaigns lifts the same request to a population (a
+// profiles glob × seed list, or explicit specs) whose member runs
+// share the worker pool and caches and roll up into a deterministic
+// cross-device aggregate. cmd/dramscoped is the binary front-end.
 //
 // The service leans entirely on the suite's determinism contract: a
-// report is a pure function of (profile, seed, selection), so the
-// served bytes are exactly what `cmd/experiments -json` prints for
-// the same inputs (asserted against the golden fixture by the
-// package's tests), repeated requests are served from an LRU cache
-// keyed by the canonicalized request, and cache entries never expire.
-// Concurrent runs share one bounded worker budget; DELETE /runs/{id}
-// cancels through the suite's context plumbing. The HTTP surface is
-// documented in docs/api.md.
+// report is a pure function of the spec, so the served bytes are
+// exactly what `cmd/experiments -json` prints for the same inputs
+// (asserted against the golden fixture by the package's tests),
+// repeated requests are served from an LRU cache keyed by the spec's
+// canonical digest — the same digest the persistent store keys
+// reports by — and cache entries never expire. Concurrent runs share
+// one bounded worker budget; DELETE /runs/{id} cancels through the
+// suite's context plumbing. The HTTP surface is documented in
+// docs/api.md.
 package serve
 
 import (
@@ -80,6 +85,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
 	s.mux.HandleFunc("GET /runs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /campaigns", s.handleCreateCampaign)
+	s.mux.HandleFunc("GET /campaigns", s.handleListCampaigns)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGetCampaign)
+	s.mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancelCampaign)
+	s.mux.HandleFunc("GET /campaigns/{id}/report", s.handleCampaignReport)
+	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.handleCampaignStream)
 	return s
 }
 
@@ -228,6 +239,134 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(report)
+}
+
+// handleCreateCampaign admits a campaign: every member spec becomes an
+// ordinary run on the shared pool (store/LRU hits included, so a warm
+// campaign completes almost immediately), and the campaign aggregates
+// once all members finish. Always 202: even an all-cached campaign
+// aggregates asynchronously.
+func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	c, err := s.mgr.StartCampaign(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/campaigns/"+c.id)
+	writeJSON(w, http.StatusAccepted, c.status(false))
+}
+
+func (s *Server) handleListCampaigns(w http.ResponseWriter, r *http.Request) {
+	out := []CampaignStatus{}
+	for _, c := range s.mgr.Campaigns() {
+		out = append(out, c.status(false))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.mgr.GetCampaign(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", id)
+		return nil, false
+	}
+	return c, true
+}
+
+func (s *Server) handleGetCampaign(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status(true))
+}
+
+func (s *Server) handleCancelCampaign(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c, ok := s.mgr.CancelCampaign(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status(false))
+}
+
+// handleCampaignReport serves the deterministic aggregate report —
+// byte-identical to `experiments -campaign ... -json` for the same
+// specs. 409 Conflict until the campaign finishes.
+func (s *Server) handleCampaignReport(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	state, report := c.state, c.report
+	c.mu.Unlock()
+	if state == StateRunning {
+		writeError(w, http.StatusConflict, "campaign %s is still %s", c.id, state)
+		return
+	}
+	if state == StateCanceled || report == nil {
+		writeError(w, http.StatusConflict, "campaign %s was %s and has no report", c.id, state)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(report)
+}
+
+// handleCampaignStream serves NDJSON: one CampaignStreamEvent line per
+// member run, strictly in campaign order as runs complete, then a
+// terminal line — the campaign-level twin of handleStream.
+func (s *Server) handleCampaignStream(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+
+	next := 0
+	for {
+		lines, terminal, changed := c.wait(next)
+		for _, line := range lines {
+			w.Write(line)
+			w.Write([]byte("\n"))
+		}
+		next += len(lines)
+		if len(lines) > 0 {
+			flush()
+		}
+		if terminal != nil {
+			data, _ := json.Marshal(terminal)
+			w.Write(data)
+			w.Write([]byte("\n"))
+			flush()
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // handleStream serves NDJSON: one StreamEvent line per experiment, in

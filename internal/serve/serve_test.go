@@ -266,7 +266,7 @@ func TestRunLifecycleAndReportBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := local.Run(expt.Options{Only: []string{"alpha", "beta"}})
+	rep, err := local.Run(expt.Options{Spec: expt.RunSpec{Only: []string{"alpha", "beta"}}})
 	if err != nil {
 		t.Fatal(err)
 	}

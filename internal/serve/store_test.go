@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"testing"
 
+	"dramscope/internal/expt"
 	"dramscope/internal/store"
 )
 
@@ -98,9 +99,14 @@ func TestStoreCorruptReportFallsBack(t *testing.T) {
 	report1, _ := getReport(t, ts1, first.ID)
 
 	// Overwrite the stored report with a mismatched one (valid JSON,
-	// wrong experiment set) under the same key.
-	key := store.ReportKey{Profile: first.Profile, Seed: first.Seed, Experiments: first.Experiments}
-	if err := st1.SaveReport(key, []byte(`{"seed":42,"experiments":[]}`)); err != nil {
+	// wrong experiment set) under the same key — derived, like the
+	// server's own, from the canonical spec form.
+	seed := first.Seed
+	rs, _, err := expt.ResolveSpec(expt.RunSpec{Profile: first.Profile, Seed: seed, Only: first.Experiments}, testFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.SaveReport(store.ReportKey{Spec: rs.Canonical()}, []byte(`{"seed":42,"experiments":[]}`)); err != nil {
 		t.Fatal(err)
 	}
 

@@ -10,9 +10,13 @@
 //
 // Entries are keyed by a SHA-256 digest of the canonical key material:
 // the store schema version, the probe wire-format version
-// (core.ProbeSchemaVersion), a build fingerprint, the full device
-// profile, the env seed, and the probe level (or, for reports, the
-// resolved selection closure). Anything that could change the artifact
+// (core.ProbeSchemaVersion), a build fingerprint, and — for probes —
+// the full device profile, env seed, and probe level, or — for
+// reports — the run's canonical spec form verbatim
+// (expt.(*ResolvedSpec).Canonical, which itself embeds the full
+// profile, seed, selection closure, and activation budget, and whose
+// digest also keys the service's in-memory result cache — one
+// canonicalization site for both). Anything that could change the artifact
 // changes the digest, so stale entries are never read — they are
 // merely orphaned, and `make clean-store` reclaims the directory.
 // The determinism contract this rests on is the suite's: a store hit
@@ -36,7 +40,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
-	"strings"
 	"sync"
 
 	"dramscope/internal/core"
@@ -110,13 +113,16 @@ type ProbeKey struct {
 	Level   int
 }
 
-// ReportKey identifies one persisted suite report: profile name, suite
-// seed, and the resolved selection closure in registration order —
-// exactly the inputs the deterministic report is a pure function of.
+// ReportKey identifies one persisted suite report by the run's
+// canonical spec form (expt.(*ResolvedSpec).Canonical) — full profile,
+// seed, resolved selection closure, activation budget, in a fixed
+// field order. The store does not re-canonicalize anything: the same
+// bytes the serve LRU digests are embedded here verbatim, so the repo
+// has exactly one definition of "the same run" and the two caches can
+// never drift.
 type ReportKey struct {
-	Profile     string
-	Seed        uint64
-	Experiments []string
+	// Spec is the canonical spec JSON.
+	Spec []byte
 }
 
 // envelope is the on-disk entry format. Probes carry the
@@ -176,22 +182,14 @@ func (k ProbeKey) keyString() (string, error) {
 		kindProbes, SchemaVersion, core.ProbeSchemaVersion, codeFingerprint(), prof, k.Seed, k.Level), nil
 }
 
-// keyString canonicalizes a report key over the resolved selection
-// closure (names joined in registration order). Catalog profiles are
-// embedded as their full JSON encoding, exactly like probe keys, so a
-// profile-parameter edit invalidates persisted reports along with the
-// probe chains recovered under it; profiles outside the catalog
-// (tests) fall back to the name.
+// keyString frames the canonical spec with the store's own
+// invalidation material (schema versions, build fingerprint). The spec
+// itself already embeds the full profile JSON, so a profile-parameter
+// edit invalidates persisted reports along with the probe chains
+// recovered under it.
 func (k ReportKey) keyString() string {
-	prof := k.Profile
-	if p, ok := topo.ByName(k.Profile); ok {
-		if data, err := json.Marshal(p); err == nil {
-			prof = string(data)
-		}
-	}
-	return fmt.Sprintf("%s|store-v%d|core-v%d|%s|%s|seed-%d|%s",
-		kindReport, SchemaVersion, core.ProbeSchemaVersion, codeFingerprint(), prof, k.Seed,
-		strings.Join(k.Experiments, ","))
+	return fmt.Sprintf("%s|store-v%d|core-v%d|%s|%s",
+		kindReport, SchemaVersion, core.ProbeSchemaVersion, codeFingerprint(), k.Spec)
 }
 
 // path maps a canonical key string to its content-addressed file.
@@ -273,6 +271,9 @@ func (s *Store) SaveReport(k ReportKey, report []byte) error {
 	}
 	if len(report) == 0 {
 		return fmt.Errorf("store: refusing to save an empty report")
+	}
+	if len(k.Spec) == 0 {
+		return fmt.Errorf("store: refusing to save a report under an empty spec key")
 	}
 	key := k.keyString()
 	return s.writeEnvelope(s.path(kindReport, key), &envelope{

@@ -222,7 +222,7 @@ func TestReadOnlyStore(t *testing.T) {
 	if err := ro.SaveProbes(testKey(8, 4), testProbeState()); err != nil {
 		t.Fatal(err)
 	}
-	if err := ro.SaveReport(ReportKey{Profile: "p", Seed: 1, Experiments: []string{"x"}}, []byte("{}")); err != nil {
+	if err := ro.SaveReport(ReportKey{Spec: []byte(`{"profile":"p","seed":1,"experiments":["x"]}`)}, []byte("{}")); err != nil {
 		t.Fatal(err)
 	}
 	// ...and corrupt entries are not quarantined.
@@ -263,7 +263,7 @@ func TestReportRoundTripByteExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	key := ReportKey{Profile: "MfrA", Seed: 7, Experiments: []string{"table1", "fig7"}}
+	key := ReportKey{Spec: []byte(`{"profile":"MfrA","seed":7,"experiments":["table1","fig7"]}`)}
 	want := []byte("{\n  \"seed\": 7,\n  \"experiments\": []\n}\n")
 	if err := s.SaveReport(key, want); err != nil {
 		t.Fatal(err)
@@ -276,7 +276,7 @@ func TestReportRoundTripByteExact(t *testing.T) {
 		t.Fatalf("report bytes changed:\nsaved:  %q\nloaded: %q", want, got)
 	}
 	// A different selection closure is a different report.
-	other := ReportKey{Profile: "MfrA", Seed: 7, Experiments: []string{"table1"}}
+	other := ReportKey{Spec: []byte(`{"profile":"MfrA","seed":7,"experiments":["table1"]}`)}
 	if _, ok := s.LoadReport(other); ok {
 		t.Fatal("different selection shared a report entry")
 	}
