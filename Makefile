@@ -4,6 +4,11 @@
 #   make race    - full test suite under the race detector
 #   make short   - fast unit tests only (skips catalog-scale probes)
 #   make bench   - regenerate every paper artifact as benchmarks
+#   make bench-snapshot - re-measure and commit the perf snapshots
+#                  (BENCH_suite.json / BENCH_campaign.json: ns/ACT,
+#                  cold/warm suite wall time, campaign throughput)
+#   make bench-check - CI smoke gate: fail if the cold-suite ns/ACT
+#                  regressed more than 2x vs the committed snapshot
 #   make suite   - run the concurrent experiment suite (all artifacts)
 #   make serve   - boot the HTTP run service (cmd/dramscoped)
 #   make golden  - regenerate the golden-report fixtures (full suite +
@@ -26,7 +31,7 @@ SUITE_FLAGS ?= -run all
 SERVE_FLAGS ?=
 STORE_DIR ?= dramscope-store
 
-.PHONY: build test race short bench suite serve vet golden campaign clean-store
+.PHONY: build test race short bench bench-snapshot bench-check suite serve vet golden campaign clean-store
 
 # The golden campaign population (mirrored by expt.GoldenCampaign and
 # asserted by TestGoldenCampaignReport): one representative device per
@@ -50,6 +55,16 @@ short:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# The committed perf snapshots record the hot path's trajectory
+# (ns/ACT is the headline; wall times are machine-dependent context).
+# Refresh them on a quiet machine after intentional perf changes and
+# commit the diff.
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap
+
+bench-check:
+	$(GO) run ./cmd/benchsnap -check
 
 suite:
 	$(GO) run ./cmd/experiments $(SUITE_FLAGS)

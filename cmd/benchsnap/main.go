@@ -1,0 +1,237 @@
+// Command benchsnap measures the repo's headline performance numbers
+// and persists them as committed snapshots (BENCH_suite.json,
+// BENCH_campaign.json), so a perf regression shows up as a diff — and
+// CI can fail on a gross one — instead of silently accumulating.
+//
+// Three numbers matter for fleet-scale throughput, and each snapshot
+// records the machinery to reproduce it:
+//
+//   - ns/ACT: wall nanoseconds per metered DRAM activation over a
+//     cold full-suite run — the cost of the host→chip hot path that
+//     the batched command kernels optimize.
+//   - cold vs warm suite wall time: the same suite against an empty
+//     and a populated probe-artifact store (warm runs skip the
+//     reverse-engineering chain and go straight to measurement).
+//   - campaign throughput: runs/minute over the golden campaign
+//     population (3 vendors x 2 seeds, per-device recovery).
+//
+// Usage:
+//
+//	benchsnap                      # refresh both snapshots in place
+//	benchsnap -check               # smoke mode: re-measure ns/ACT and
+//	                               # fail if it regressed more than
+//	                               # -threshold x vs BENCH_suite.json
+//	benchsnap -check -threshold 3
+//
+// Absolute wall times are machine-dependent; the -check gate therefore
+// compares only the ns/ACT ratio and uses a deliberately generous
+// threshold (default 2x) so it trips on algorithmic regressions, not
+// on CI-runner jitter.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dramscope/internal/expt"
+	"dramscope/internal/store"
+)
+
+// SuiteBench is the committed BENCH_suite.json shape.
+type SuiteBench struct {
+	Schema      int     `json:"schema"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Jobs        int     `json:"jobs"`
+	Shards      int     `json:"shards"`
+	Activations int64   `json:"activations"`
+	NsPerAct    float64 `json:"ns_per_act"`
+	ColdWallMS  int64   `json:"cold_wall_ms"`
+	WarmWallMS  int64   `json:"warm_wall_ms"`
+}
+
+// CampaignBench is the committed BENCH_campaign.json shape.
+type CampaignBench struct {
+	Schema        int     `json:"schema"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	Jobs          int     `json:"jobs"`
+	Runs          int     `json:"runs"`
+	WallMS        int64   `json:"wall_ms"`
+	RunsPerMinute float64 `json:"runs_per_minute"`
+}
+
+func main() {
+	suiteOut := flag.String("suite-out", "BENCH_suite.json", "suite snapshot path")
+	campaignOut := flag.String("campaign-out", "BENCH_campaign.json", "campaign snapshot path")
+	check := flag.Bool("check", false, "re-measure the cold suite and fail on a gross ns/ACT regression vs -suite-out")
+	threshold := flag.Float64("threshold", 2.0, "-check fails when measured ns/ACT exceeds snapshot ns/ACT by this factor")
+	jobs := flag.Int("jobs", 1, "suite worker count for the measured runs (1 = the serial hot-path number)")
+	flag.Parse()
+
+	if err := run(*suiteOut, *campaignOut, *check, *threshold, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(suiteOut, campaignOut string, check bool, threshold float64, jobs int) error {
+	if check {
+		return checkSuite(suiteOut, threshold, jobs)
+	}
+	sb, err := measureSuite(jobs, true)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(suiteOut, sb); err != nil {
+		return err
+	}
+	fmt.Printf("suite: %.1f ns/ACT, cold %s, warm %s (%d ACTs, jobs=%d shards=%d)\n",
+		sb.NsPerAct, time.Duration(sb.ColdWallMS)*time.Millisecond,
+		time.Duration(sb.WarmWallMS)*time.Millisecond, sb.Activations, sb.Jobs, sb.Shards)
+
+	cb, err := measureCampaign(jobs)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(campaignOut, cb); err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d runs in %s = %.2f runs/min (jobs=%d)\n",
+		cb.Runs, time.Duration(cb.WallMS)*time.Millisecond, cb.RunsPerMinute, cb.Jobs)
+	return nil
+}
+
+// coldSuite runs the full default suite against the given store
+// (nil = no store) and returns the wall time and metered activations.
+func coldSuite(jobs int, st *store.Store) (time.Duration, int64, error) {
+	s, err := expt.DefaultSuite(expt.DefaultFigProfile, expt.DefaultSeed)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	rep, err := s.Run(expt.Options{Spec: expt.RunSpec{Jobs: jobs, Shards: jobs}, Store: st})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := rep.Err(); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), s.ActivationsUsed(), nil
+}
+
+func measureSuite(jobs int, warm bool) (*SuiteBench, error) {
+	sb := &SuiteBench{Schema: 1, GoMaxProcs: runtime.GOMAXPROCS(0), Jobs: jobs, Shards: jobs}
+
+	dir, err := os.MkdirTemp("", "benchsnap-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.OpenDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+
+	// Cold: empty store, the run pays the full probe chain.
+	cold, acts, err := coldSuite(jobs, st)
+	if err != nil {
+		return nil, err
+	}
+	sb.ColdWallMS = cold.Milliseconds()
+	sb.Activations = acts
+	if acts > 0 {
+		sb.NsPerAct = float64(cold.Nanoseconds()) / float64(acts)
+	}
+
+	if warm {
+		// Warm: the store now holds every probe chain; the suite skips
+		// straight to measurement.
+		warmWall, _, err := coldSuite(jobs, st)
+		if err != nil {
+			return nil, err
+		}
+		sb.WarmWallMS = warmWall.Milliseconds()
+	}
+	return sb, nil
+}
+
+// goldenCampaignSpecs mirrors the Makefile's GOLDEN_CAMPAIGN
+// population: one representative device per vendor x two seeds, each
+// run recovering its own Table III row.
+func goldenCampaignSpecs() []expt.RunSpec {
+	var specs []expt.RunSpec
+	for _, prof := range []string{"MfrA-DDR4-x4-2016", "MfrB-DDR4-x4-2019", "MfrC-DDR4-x8-2016"} {
+		for _, seed := range []uint64{5, 7} {
+			specs = append(specs, expt.RunSpec{Profile: prof, Seed: seed, Only: []string{"recover"}})
+		}
+	}
+	return specs
+}
+
+func measureCampaign(jobs int) (*CampaignBench, error) {
+	c := &expt.Campaign{Specs: goldenCampaignSpecs()}
+	start := time.Now()
+	rep, err := c.Run(expt.CampaignOptions{Jobs: jobs})
+	if err != nil {
+		return nil, err
+	}
+	if err := rep.Err(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	cb := &CampaignBench{
+		Schema:     1,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Jobs:       jobs,
+		Runs:       len(c.Specs),
+		WallMS:     wall.Milliseconds(),
+	}
+	if wall > 0 {
+		cb.RunsPerMinute = float64(cb.Runs) / wall.Minutes()
+	}
+	return cb, nil
+}
+
+// checkSuite is the CI smoke gate: one cold suite run, compared
+// against the committed snapshot on the machine-portable ns/ACT
+// metric only.
+func checkSuite(suiteOut string, threshold float64, jobs int) error {
+	data, err := os.ReadFile(suiteOut)
+	if err != nil {
+		return fmt.Errorf("no committed snapshot (run `make bench-snapshot` first): %w", err)
+	}
+	var want SuiteBench
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("corrupt snapshot %s: %w", suiteOut, err)
+	}
+	if want.NsPerAct <= 0 {
+		return fmt.Errorf("snapshot %s has no ns/ACT baseline", suiteOut)
+	}
+
+	cold, acts, err := coldSuite(jobs, nil)
+	if err != nil {
+		return err
+	}
+	if acts <= 0 {
+		return fmt.Errorf("cold suite metered no activations")
+	}
+	got := float64(cold.Nanoseconds()) / float64(acts)
+	fmt.Printf("ns/ACT: measured %.1f, snapshot %.1f (%.2fx, threshold %.1fx)\n",
+		got, want.NsPerAct, got/want.NsPerAct, threshold)
+	if got > want.NsPerAct*threshold {
+		return fmt.Errorf("hot path regressed: %.1f ns/ACT vs snapshot %.1f (more than %.1fx)",
+			got, want.NsPerAct, threshold)
+	}
+	return nil
+}
+
+func writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

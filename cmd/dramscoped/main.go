@@ -51,9 +51,20 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default 64, negative = disabled)")
 	retain := flag.Int("retain", 0, "finished runs kept queryable before the oldest are evicted (0 = default 256)")
 	storeFlags := cli.BindStoreFlags(flag.CommandLine)
+	pprofFlags := cli.BindPprofFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*addr, *budget, *cacheSize, *retain, storeFlags); err != nil {
+	if err := pprofFlags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "dramscoped:", err)
+		os.Exit(1)
+	}
+	err := run(*addr, *budget, *cacheSize, *retain, storeFlags)
+	// Flush profiles before exiting either way: the profile of a
+	// crashed server is the interesting one.
+	if perr := pprofFlags.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dramscoped:", err)
 		os.Exit(1)
 	}

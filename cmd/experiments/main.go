@@ -74,6 +74,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory for CSV result files (optional)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr (stdout stays byte-stable)")
 	storeFlags := cli.BindStoreFlags(flag.CommandLine)
+	pprofFlags := cli.BindPprofFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -107,7 +108,17 @@ func main() {
 		progress: *progress,
 		list:     *list,
 	}
-	if err := run(ctx, cfg, storeFlags); err != nil {
+	if err := pprofFlags.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	err := run(ctx, cfg, storeFlags)
+	// Flush profiles before deciding the exit code: a failed run's
+	// profile is usually the one being hunted.
+	if perr := pprofFlags.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -17,6 +17,15 @@
 // (activating a victim restores its cells, which is why real RowHammer
 // requires the victim row to stay closed).
 //
+// # Command execution
+//
+// Exec applies one timed command and is the reference implementation.
+// ExecBatch applies a homogeneous sim.Batch through kernels that
+// validate timing once per burst and run the transfers over
+// word-packed state; it is semantically identical to the equivalent
+// Exec loop (asserted by tests) and is what the host's composite
+// operations use.
+//
 // # Untouched rows
 //
 // Rows never written behave as discharged since power-on. Their data
@@ -26,6 +35,7 @@ package chip
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"dramscope/internal/faults"
 	"dramscope/internal/geom"
@@ -45,6 +55,18 @@ type Chip struct {
 	now    sim.Time
 
 	words int // 64-bit words per wordline
+
+	// Derived constants cached off the fault model: the stress-floor
+	// bounds consulted on every materialize, and the retention floor in
+	// simulated time.
+	maxHammerF float64
+	maxPressF  float64
+	retMin     sim.Time
+
+	// physTab[half][col*dataWidth+bit] is the physical bitline of a
+	// burst bit: the column swizzle flattened into a lookup table so
+	// the RD/WR kernels do no per-bit arithmetic.
+	physTab [][]int32
 }
 
 type bank struct {
@@ -55,9 +77,15 @@ type bank struct {
 	latchWL   int      // wordline whose charge the bitlines still hold, or -1
 	latch     []uint64 // bitline charge snapshot taken at PRE
 
-	rows  map[int]*rowState
-	acts  map[int]int64   // cumulative activations per wordline
-	press map[int]float64 // cumulative over-tRAS on-time per wordline (ps)
+	// Per-wordline bookkeeping, dense-indexed by physical wordline.
+	// touched lists the wordlines holding state (insertion order), so
+	// refresh and Reset walk only what was used; free recycles row
+	// state between Reset cycles instead of reallocating.
+	rows    []*rowState
+	acts    []int64   // cumulative activations per wordline
+	press   []float64 // cumulative over-tRAS on-time per wordline (ps)
+	touched []int32
+	free    []*rowState
 
 	wlActs int64 // wordlines driven (edge rows count twice): energy proxy
 }
@@ -83,22 +111,36 @@ func New(prof topo.Profile, seed uint64) (*Chip, error) {
 	fp := faults.Default(seed)
 	fp.BaseScale = vendorScale(prof)
 	c := &Chip{
-		prof:   prof,
-		topo:   t,
-		cmap:   cm,
-		fp:     fp,
-		timing: prof.Timing,
-		words:  prof.RowBits / 64,
+		prof:       prof,
+		topo:       t,
+		cmap:       cm,
+		fp:         fp,
+		timing:     prof.Timing,
+		words:      prof.RowBits / 64,
+		maxHammerF: fp.MaxHammerFactor(),
+		maxPressF:  fp.MaxPressFactor(),
+		retMin:     sim.Time(fp.RetentionMinSec * float64(sim.Second)),
 	}
+	physRows := t.PhysRows()
 	for i := 0; i < prof.Banks; i++ {
 		c.banks = append(c.banks, &bank{
 			openWL:  -1,
 			latchWL: -1,
 			lastPre: math.MinInt64 / 2,
-			rows:    make(map[int]*rowState),
-			acts:    make(map[int]int64),
-			press:   make(map[int]float64),
+			rows:    make([]*rowState, physRows),
+			acts:    make([]int64, physRows),
+			press:   make([]float64, physRows),
 		})
+	}
+	c.physTab = make([][]int32, cm.Halves())
+	for half := range c.physTab {
+		tab := make([]int32, cm.Columns()*cm.DataWidth())
+		for col := 0; col < cm.Columns(); col++ {
+			for bit := 0; bit < cm.DataWidth(); bit++ {
+				tab[col*cm.DataWidth()+bit] = int32(cm.PhysBL(col, bit, half))
+			}
+		}
+		c.physTab[half] = tab
 	}
 	return c, nil
 }
@@ -110,6 +152,32 @@ func MustNew(prof topo.Profile, seed uint64) *Chip {
 		panic(err)
 	}
 	return c
+}
+
+// Reset restores the chip to its power-on state — simulated time zero,
+// all banks precharged, every cell discharged — while keeping the
+// topology, swizzle tables, and row-state buffers for reuse. A Reset
+// chip is indistinguishable from a freshly built one with the same
+// profile and seed (asserted by tests); Env clone pooling is built on
+// this.
+func (c *Chip) Reset() {
+	c.now = 0
+	for _, b := range c.banks {
+		b.openWL = -1
+		b.openHalf = 0
+		b.openSince = 0
+		b.lastPre = math.MinInt64 / 2
+		b.latchWL = -1
+		b.wlActs = 0
+		for _, wl := range b.touched {
+			rs := b.rows[wl]
+			b.rows[wl] = nil
+			b.acts[wl] = 0
+			b.press[wl] = 0
+			b.free = append(b.free, rs)
+		}
+		b.touched = b.touched[:0]
+	}
 }
 
 // columnMapFor derives the swizzle geometry from the profile.
@@ -184,7 +252,9 @@ func (c *Chip) WordlineActivations(bankID int) int64 { return c.banks[bankID].wl
 // --- command execution ---
 
 // Exec applies one timed command. For RD it returns the burst data.
-// Commands must be issued in non-decreasing time order.
+// Commands must be issued in non-decreasing time order. Exec is the
+// reference implementation of the command set; composite operations
+// go through ExecBatch.
 func (c *Chip) Exec(cmd sim.Command) (uint64, error) {
 	if cmd.At < c.now {
 		return 0, fmt.Errorf("chip: command %v is before current time %v", cmd, c.now)
@@ -210,6 +280,37 @@ func (c *Chip) Exec(cmd sim.Command) (uint64, error) {
 		return 0, c.refresh(cmd.Bank, cmd.At)
 	default:
 		return 0, fmt.Errorf("chip: unknown op %v", cmd.Op)
+	}
+}
+
+// ExecBatch applies a homogeneous command burst through the batched
+// kernels: timing and address ranges are validated once, then the
+// whole burst executes without per-command dispatch. For RD batches,
+// out receives one burst per command and must hold Count entries.
+// ExecBatch is semantically identical to issuing the burst's commands
+// through Exec one at a time.
+func (c *Chip) ExecBatch(b sim.Batch, out []uint64) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if b.At < c.now {
+		return fmt.Errorf("chip: batch %v is before current time %v", b, c.now)
+	}
+	if b.Bank < 0 || b.Bank >= len(c.banks) {
+		return fmt.Errorf("chip: bank %d out of range", b.Bank)
+	}
+	switch b.Op {
+	case sim.ACT:
+		if b.On > 0 {
+			c.now = b.At
+			return c.pulse(b.Bank, b.Row, b.Count, b.On, b.Gap-b.On)
+		}
+		c.now = b.At
+		return c.activate(b.Bank, b.Row, b.At)
+	case sim.RD:
+		return c.readBatch(b, out)
+	default: // sim.WR (Validate rejects everything else)
+		return c.writeBatch(b)
 	}
 }
 
@@ -251,22 +352,37 @@ func (c *Chip) activate(bankID, row int, t sim.Time) error {
 }
 
 // chargeShare overwrites the destination row's cells with the residual
-// bitline charge of the previously sensed row (RowCopy, §III-B).
+// bitline charge of the previously sensed row (RowCopy, §III-B). Every
+// coverage pattern the topology produces is a bitline-parity mask, so
+// the transfer runs word-packed: dst = (dst &^ cov) | ((latch ^ inv) & cov).
 func (c *Chip) chargeShare(b *bank, dst *rowState, dstWL int) {
 	rel := c.topo.CopyRelationOf(b.latchWL, dstWL)
 	if rel == topo.CopyNone {
 		return
 	}
-	for x := 0; x < c.prof.RowBits; x++ {
-		covered, inverted := c.topo.CopyCovers(rel, b.latchWL, x)
-		if !covered {
-			continue
+	const (
+		evenMask = 0x5555555555555555 // bitlines with x&1 == 0
+		oddMask  = 0xAAAAAAAAAAAAAAAA // bitlines with x&1 == 1
+	)
+	var cov, inv uint64
+	switch rel {
+	case topo.CopyFull:
+		cov, inv = ^uint64(0), 0
+	case topo.CopyHalfUpper, topo.CopyHalfLower:
+		// Covered where the source subarray's bitline connects upward
+		// (ConnectsUpper: (x+sub)&1 == 1), or its complement.
+		cov, inv = oddMask, ^uint64(0)
+		if c.topo.SubarrayOf(b.latchWL)&1 == 1 {
+			cov = evenMask
 		}
-		v := getBit(b.latch, x)
-		if inverted {
-			v = !v
+		if rel == topo.CopyHalfLower {
+			cov = ^cov
 		}
-		setBit(dst.charge, x, v)
+	case topo.CopyEdgePair:
+		cov, inv = evenMask, ^uint64(0)
+	}
+	for w, d := range dst.charge {
+		dst.charge[w] = (d &^ cov) | ((b.latch[w] ^ inv) & cov)
 	}
 }
 
@@ -302,18 +418,46 @@ func (c *Chip) read(bankID, col int, t sim.Time) (uint64, error) {
 	}
 	rs := c.rowStateFor(b, b.openWL)
 	anti := c.topo.AntiCells(c.topo.SubarrayOf(b.openWL))
+	return c.readBurst(rs, col, b.openHalf, anti), nil
+}
+
+// readBurst gathers one column's burst from a row's charge words.
+func (c *Chip) readBurst(rs *rowState, col, half int, anti bool) uint64 {
+	width := c.cmap.DataWidth()
+	tab := c.physTab[half][col*width : (col+1)*width]
 	var data uint64
-	for bit := 0; bit < c.cmap.DataWidth(); bit++ {
-		x := c.cmap.PhysBL(col, bit, b.openHalf)
-		v := getBit(rs.charge, x)
-		if anti {
-			v = !v
-		}
-		if v {
+	for bit, x := range tab {
+		if rs.charge[x>>6]&(1<<uint(x&63)) != 0 {
 			data |= 1 << uint(bit)
 		}
 	}
-	return data, nil
+	if anti {
+		data ^= widthMask(width)
+	}
+	return data
+}
+
+// writeBurst scatters one burst into a row's charge words.
+func (c *Chip) writeBurst(rs *rowState, col, half int, anti bool, data uint64) {
+	width := c.cmap.DataWidth()
+	tab := c.physTab[half][col*width : (col+1)*width]
+	if anti {
+		data ^= widthMask(width)
+	}
+	for bit, x := range tab {
+		if data&(1<<uint(bit)) != 0 {
+			rs.charge[x>>6] |= 1 << uint(x&63)
+		} else {
+			rs.charge[x>>6] &^= 1 << uint(x&63)
+		}
+	}
+}
+
+func widthMask(width int) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
 }
 
 func (c *Chip) write(bankID, col int, data uint64, t sim.Time) error {
@@ -323,14 +467,7 @@ func (c *Chip) write(bankID, col int, data uint64, t sim.Time) error {
 	}
 	rs := c.rowStateFor(b, b.openWL)
 	anti := c.topo.AntiCells(c.topo.SubarrayOf(b.openWL))
-	for bit := 0; bit < c.cmap.DataWidth(); bit++ {
-		x := c.cmap.PhysBL(col, bit, b.openHalf)
-		v := data&(1<<uint(bit)) != 0
-		if anti {
-			v = !v
-		}
-		setBit(rs.charge, x, v)
-	}
+	c.writeBurst(rs, col, b.openHalf, anti, data)
 	return nil
 }
 
@@ -348,6 +485,61 @@ func (c *Chip) checkColumnAccess(b *bank, col int, t sim.Time) error {
 	return nil
 }
 
+// readBatch is the RD kernel: one open-row/timing/range check for the
+// whole burst, then a straight gather loop.
+func (c *Chip) readBatch(b sim.Batch, out []uint64) error {
+	bank := c.banks[b.Bank]
+	if len(out) < b.Count {
+		return fmt.Errorf("chip: RD batch of %d wants %d output slots", b.Count, len(out))
+	}
+	if err := c.checkBatchColumns(bank, b); err != nil {
+		return err
+	}
+	rs := c.rowStateFor(bank, bank.openWL)
+	anti := c.topo.AntiCells(c.topo.SubarrayOf(bank.openWL))
+	col := b.Col
+	for i := 0; i < b.Count; i++ {
+		out[i] = c.readBurst(rs, col, bank.openHalf, anti)
+		col += b.Stride
+	}
+	c.now = b.End()
+	return nil
+}
+
+// writeBatch is the WR kernel.
+func (c *Chip) writeBatch(b sim.Batch) error {
+	bank := c.banks[b.Bank]
+	if err := c.checkBatchColumns(bank, b); err != nil {
+		return err
+	}
+	rs := c.rowStateFor(bank, bank.openWL)
+	anti := c.topo.AntiCells(c.topo.SubarrayOf(bank.openWL))
+	col := b.Col
+	for i := 0; i < b.Count; i++ {
+		data := b.Data[0]
+		if len(b.Data) > 1 {
+			data = b.Data[i]
+		}
+		c.writeBurst(rs, col, bank.openHalf, anti, data)
+		col += b.Stride
+	}
+	c.now = b.End()
+	return nil
+}
+
+// checkBatchColumns validates a RD/WR burst once: open row, tRCD for
+// the earliest command (the gap is non-negative, so the rest follow),
+// and the column range at both ends of the stride walk.
+func (c *Chip) checkBatchColumns(bank *bank, b sim.Batch) error {
+	if err := c.checkColumnAccess(bank, b.Col, b.At); err != nil {
+		return err
+	}
+	if last := b.Col + (b.Count-1)*b.Stride; last < 0 || last >= c.cmap.Columns() {
+		return fmt.Errorf("chip: column %d out of range [0,%d)", last, c.cmap.Columns())
+	}
+	return nil
+}
+
 func (c *Chip) refresh(bankID int, t sim.Time) error {
 	b := c.banks[bankID]
 	if b.openWL >= 0 {
@@ -355,8 +547,8 @@ func (c *Chip) refresh(bankID int, t sim.Time) error {
 	}
 	// Lazy all-rows refresh: materialize and re-snapshot every row
 	// that has state. Stateless rows are discharged and cannot decay.
-	for wl := range b.rows {
-		c.materialize(bankID, wl, t)
+	for _, wl := range b.touched {
+		c.materialize(bankID, int(wl), t)
 	}
 	return nil
 }
@@ -371,6 +563,13 @@ func (c *Chip) refresh(bankID int, t sim.Time) error {
 // tGap must exceed RowCopyMaxGap: a hammer loop precharges fully
 // between activations; use explicit commands to exercise RowCopy.
 func (c *Chip) Pulse(bankID, row, n int, tOn, tGap sim.Time) error {
+	if bankID < 0 || bankID >= len(c.banks) {
+		return fmt.Errorf("chip: bank %d out of range", bankID)
+	}
+	return c.pulse(bankID, row, n, tOn, tGap)
+}
+
+func (c *Chip) pulse(bankID, row, n int, tOn, tGap sim.Time) error {
 	if n <= 0 {
 		return fmt.Errorf("chip: Pulse needs a positive count")
 	}
@@ -425,8 +624,16 @@ func (c *Chip) Pulse(bankID, row, n int, tOn, tGap sim.Time) error {
 func (c *Chip) rowStateFor(b *bank, wl int) *rowState {
 	rs := b.rows[wl]
 	if rs == nil {
-		rs = &rowState{charge: make([]uint64, c.words)}
+		if n := len(b.free); n > 0 {
+			rs = b.free[n-1]
+			b.free = b.free[:n-1]
+			clear(rs.charge)
+			*rs = rowState{charge: rs.charge}
+		} else {
+			rs = &rowState{charge: make([]uint64, c.words)}
+		}
 		b.rows[wl] = rs
+		b.touched = append(b.touched, int32(wl))
 	}
 	return rs
 }
@@ -453,20 +660,22 @@ func (c *Chip) materialize(bankID, wl int, t sim.Time) *rowState {
 	}
 	elapsed := t - rs.lastRestore
 
-	// Skip the per-cell scan when the accumulated stress provably
-	// cannot flip anything (stress floors in the fault model): this
-	// keeps incidental activations — row scans, RowCopy sequences —
-	// at O(1) instead of O(RowBits).
-	hammerBound := float64(dUpActs+dDownActs) * c.fp.MaxHammerFactor()
-	pressBound := (dUpPress + dDownPress) * c.fp.MaxPressFactor()
-	hasAIB := hammerBound >= c.fp.HammerMinStress || pressBound >= c.fp.PressMinStress
-	// Retention can only matter if some cell's charge may exceed the
-	// minimum retention time.
-	hasRet := elapsed > sim.Time(c.fp.RetentionMinSec*float64(sim.Second))
+	// Classify which mechanisms can possibly flip a cell. The stress
+	// floors in the fault model (HammerMinStress, PressMinStress) make
+	// this exact, not heuristic: a per-direction factor never exceeds
+	// MaxHammerFactor/MaxPressFactor, so a sub-floor bound means no
+	// cell can flip under that mechanism regardless of its
+	// neighborhood. This keeps incidental activations — row scans,
+	// RowCopy sequences — at O(1), and reduces retention-only
+	// materializations to a word-packed scan of charged cells.
+	hammerOn := float64(dUpActs+dDownActs)*c.maxHammerF >= c.fp.HammerMinStress
+	pressOn := (dUpPress+dDownPress)*c.maxPressF >= c.fp.PressMinStress
+	hasRet := elapsed > c.retMin
 
-	if hasAIB || hasRet {
+	if hammerOn || pressOn || hasRet {
 		c.applyFaults(bankID, b, rs, wl, t,
-			dUpActs, dDownActs, dUpPress, dDownPress, elapsed, upOK, downOK)
+			dUpActs, dDownActs, dUpPress, dDownPress, elapsed, upOK, downOK,
+			hammerOn, pressOn)
 	}
 
 	if upOK {
@@ -483,7 +692,26 @@ func (c *Chip) materialize(bankID, wl int, t sim.Time) *rowState {
 
 func (c *Chip) applyFaults(bankID int, b *bank, rs *rowState, wl int, t sim.Time,
 	dUpActs, dDownActs int64, dUpPress, dDownPress float64,
-	elapsed sim.Time, upOK, downOK bool) {
+	elapsed sim.Time, upOK, downOK bool, hammerOn, pressOn bool) {
+
+	if !hammerOn && !pressOn {
+		// Retention is the only live mechanism and it only clears
+		// charged cells, so scan the charge words and skip the empty
+		// ones — the common case for rows touched long after their
+		// last restore but never hammered.
+		c.applyRetention(bankID, rs, wl, elapsed)
+		return
+	}
+	// A mechanism whose accumulated stress is below its floor cannot
+	// flip any cell (its per-cell stress is bounded by the floor
+	// check in HammerFlips/PressFlips); zeroing its deltas skips the
+	// factor computation without changing any flip decision.
+	if !hammerOn {
+		dUpActs, dDownActs = 0, 0
+	}
+	if !pressOn {
+		dUpPress, dDownPress = 0, 0
+	}
 
 	var upCharge, downCharge []uint64
 	if upOK {
@@ -576,6 +804,25 @@ func (c *Chip) applyFaults(bankID int, b *bank, rs *rowState, wl int, t sim.Time
 	}
 }
 
+// applyRetention clears the charged cells whose retention time the
+// elapsed interval exceeds. Word-packed: zero charge words — the vast
+// majority on sparsely written rows — cost one compare.
+func (c *Chip) applyRetention(bankID int, rs *rowState, wl int, elapsed sim.Time) {
+	for w, word := range rs.charge {
+		if word == 0 {
+			continue
+		}
+		var cleared uint64
+		for m := word; m != 0; m &= m - 1 {
+			x := w<<6 | bits.TrailingZeros64(m)
+			if c.fp.RetentionFlips(bankID, wl, x, true, elapsed) {
+				cleared |= m & -m
+			}
+		}
+		rs.charge[w] = word &^ cleared
+	}
+}
+
 // --- test/inspection helpers ---
 
 // InspectCharge returns the raw stored charge of a cell without
@@ -591,7 +838,7 @@ func (c *Chip) InspectCharge(bankID, wl, x int) bool {
 }
 
 // TouchedRows returns how many wordlines hold state in a bank.
-func (c *Chip) TouchedRows(bankID int) int { return len(c.banks[bankID].rows) }
+func (c *Chip) TouchedRows(bankID int) int { return len(c.banks[bankID].touched) }
 
 // --- bit helpers ---
 

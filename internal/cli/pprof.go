@@ -1,0 +1,76 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// PprofFlags is the bound -cpuprofile/-memprofile pair: the standard
+// runtime/pprof plumbing shared by the binaries, so profiling a run is
+// one flag instead of a code edit. Profiles from the hot suite path
+// are how the batched-kernel work was found and measured; keeping the
+// flags wired means the next regression hunt starts at
+// `-cpuprofile cpu.out` rather than at an instrumented rebuild.
+type PprofFlags struct {
+	// CPU is the CPU-profile output path; empty disables.
+	CPU string
+	// Mem is the heap-profile output path, written on Stop; empty
+	// disables.
+	Mem string
+
+	cpuOut *os.File
+}
+
+// BindPprofFlags registers the shared profiling flags on a FlagSet.
+func BindPprofFlags(fs *flag.FlagSet) *PprofFlags {
+	f := &PprofFlags{}
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file (pprof format)")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit (pprof format)")
+	return f
+}
+
+// Start begins CPU profiling if requested. Callers must arrange for
+// Stop to run on every exit path (defer it right after Start).
+func (f *PprofFlags) Start() error {
+	if f.CPU == "" {
+		return nil
+	}
+	out, err := os.Create(f.CPU)
+	if err != nil {
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(out); err != nil {
+		out.Close()
+		return fmt.Errorf("cpuprofile: %w", err)
+	}
+	f.cpuOut = out
+	return nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile. It is
+// idempotent and safe to call when profiling was never started.
+func (f *PprofFlags) Stop() error {
+	if f.cpuOut != nil {
+		pprof.StopCPUProfile()
+		err := f.cpuOut.Close()
+		f.cpuOut = nil
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if f.Mem != "" {
+		out, err := os.Create(f.Mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer out.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(out); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}

@@ -110,6 +110,7 @@ func (a *AIB) Measure(cfg Run) (*Result, error) {
 		res.ByPhysClass = stats.NewProfile()
 	}
 
+	got := make([]uint64, h.Columns()) // readback buffer reused across victims
 	for _, p := range cfg.VictimPhys {
 		var aggrPhys []int
 		switch {
@@ -146,8 +147,7 @@ func (a *AIB) Measure(cfg Run) (*Result, error) {
 				return nil, err
 			}
 		}
-		got, err := h.ReadRow(a.Bank, victim)
-		if err != nil {
+		if err := h.ReadRowInto(a.Bank, victim, got); err != nil {
 			return nil, err
 		}
 		for col, v := range got {

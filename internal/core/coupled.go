@@ -90,11 +90,11 @@ func ProbeCoupledRows(h *host.Host, bank int, order *RowOrder) (*CoupledResult, 
 		return nil, err
 	}
 
+	got := make([]uint64, h.Columns())
 	flipsAround := func(q int) (int, error) {
 		total := 0
 		for _, v := range victimsOf(q) {
-			got, err := h.ReadRow(bank, v)
-			if err != nil {
+			if err := h.ReadRowInto(bank, v, got); err != nil {
 				return 0, err
 			}
 			for _, w := range got {

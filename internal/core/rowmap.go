@@ -64,7 +64,7 @@ func ProbeRowOrder(h *host.Host, bank int) (*RowOrder, error) {
 	adj := make(map[int][]int)   // aggressor -> victim rows
 
 	ones := allOnes(h)
-	cols := []int{0, 1} // two bursts are plenty to detect flips
+	got := make([]uint64, h.Columns()) // reused across the whole scan
 	for aggr := base; aggr < base+wnd; aggr++ {
 		// Reset the window: victims all-1, aggressor all-0.
 		for r := lo; r < hi; r++ {
@@ -83,8 +83,7 @@ func ProbeRowOrder(h *host.Host, bank int) (*RowOrder, error) {
 			if r == aggr {
 				continue
 			}
-			got, err := h.ReadRow(bank, r)
-			if err != nil {
+			if err := h.ReadRowInto(bank, r, got); err != nil {
 				return nil, err
 			}
 			flips := 0
@@ -95,7 +94,6 @@ func ProbeRowOrder(h *host.Host, bank int) (*RowOrder, error) {
 				adj[aggr] = append(adj[aggr], r)
 			}
 		}
-		_ = cols
 	}
 
 	lut, err := lutFromAdjacency(adj, base, wnd)

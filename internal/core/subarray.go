@@ -67,36 +67,55 @@ const (
 	copyFull
 )
 
-// classifyCopy writes an all-1 source image and probes whether the
+// copyClassifier runs RowCopy classification attempts with reusable
+// fill/readback buffers, so the boundary scan — tens of thousands of
+// classifications — issues nothing but command batches.
+type copyClassifier struct {
+	h    *host.Host
+	bank int
+	cols []int
+	data []uint64
+	got  []uint64
+}
+
+func newCopyClassifier(h *host.Host, bank int, cols []int) *copyClassifier {
+	return &copyClassifier{
+		h: h, bank: bank, cols: cols,
+		data: make([]uint64, len(cols)),
+		got:  make([]uint64, len(cols)),
+	}
+}
+
+func (cc *copyClassifier) fill(row int, v uint64) error {
+	for i := range cc.data {
+		cc.data[i] = v
+	}
+	return cc.h.WriteCols(cc.bank, row, cc.cols, cc.data)
+}
+
+// classify writes an all-1 source image and probes whether the
 // destination picks it up as-is (polarity 0) or inverted (polarity 1),
 // over the sampled columns. It returns the coverage class and the
 // polarity (meaningful only when coverage > none).
-func classifyCopy(h *host.Host, bank, src, dst int, cols []int) (copyClass, int, error) {
+func (cc *copyClassifier) classify(src, dst int) (copyClass, int, error) {
+	h, bank, cols := cc.h, cc.bank, cc.cols
 	ones := allOnes(h)
-	fill := func(row int, v uint64) error {
-		data := make([]uint64, len(cols))
-		for i := range data {
-			data[i] = v
-		}
-		return h.WriteCols(bank, row, cols, data)
-	}
 
 	// Phase a: src=1, dst=0. Non-inverted copies surface as 1s.
-	if err := fill(src, ones); err != nil {
+	if err := cc.fill(src, ones); err != nil {
 		return 0, 0, err
 	}
-	if err := fill(dst, 0); err != nil {
+	if err := cc.fill(dst, 0); err != nil {
 		return 0, 0, err
 	}
 	if err := h.RowCopy(bank, src, dst); err != nil {
 		return 0, 0, err
 	}
-	got, err := h.ReadCols(bank, dst, cols)
-	if err != nil {
+	if err := h.ReadColsInto(bank, dst, cols, cc.got); err != nil {
 		return 0, 0, err
 	}
 	changed := 0
-	for _, v := range got {
+	for _, v := range cc.got {
 		changed += popcount64(v)
 	}
 	total := len(cols) * h.DataWidth()
@@ -105,23 +124,28 @@ func classifyCopy(h *host.Host, bank, src, dst int, cols []int) (copyClass, int,
 	}
 
 	// Phase c: src=1, dst=1. Inverted copies surface as 0s.
-	if err := fill(src, ones); err != nil {
+	if err := cc.fill(src, ones); err != nil {
 		return 0, 0, err
 	}
-	if err := fill(dst, ones); err != nil {
+	if err := cc.fill(dst, ones); err != nil {
 		return 0, 0, err
 	}
 	if err := h.RowCopy(bank, src, dst); err != nil {
 		return 0, 0, err
 	}
-	if got, err = h.ReadCols(bank, dst, cols); err != nil {
+	if err := h.ReadColsInto(bank, dst, cols, cc.got); err != nil {
 		return 0, 0, err
 	}
 	changed = 0
-	for _, v := range got {
+	for _, v := range cc.got {
 		changed += popcount64(v ^ ones)
 	}
 	return coverage(changed, total), 1, nil
+}
+
+// classifyCopy is the one-shot form of copyClassifier.classify.
+func classifyCopy(h *host.Host, bank, src, dst int, cols []int) (copyClass, int, error) {
+	return newCopyClassifier(h, bank, cols).classify(src, dst)
 }
 
 // coverage buckets a changed-bit count into none/half/full.
@@ -152,9 +176,10 @@ func ProbeSubarrays(h *host.Host, bank int, order *RowOrder, scan SubarrayScan) 
 	out := &SubarrayLayout{ScannedRows: n, OpenBitline: true}
 	sawBoundary := false
 	invertedVotes, totalVotes := 0, 0
+	cc := newCopyClassifier(h, bank, scan.Cols)
 	for p := 0; p+1 < n; p++ {
 		src, dst := order.RowAt(p), order.RowAt(p+1)
-		cls, pol, err := classifyCopy(h, bank, src, dst, scan.Cols)
+		cls, pol, err := cc.classify(src, dst)
 		if err != nil {
 			return nil, fmt.Errorf("core: rowcopy scan at physical row %d: %w", p, err)
 		}
@@ -204,7 +229,7 @@ func ProbeSubarrays(h *host.Host, bank int, order *RowOrder, scan SubarrayScan) 
 	for k := 2; k < len(starts); k++ {
 		src := order.RowAt(0)
 		dst := order.RowAt(starts[k])
-		cls, _, err := classifyCopy(h, bank, src, dst, scan.Cols)
+		cls, _, err := cc.classify(src, dst)
 		if err != nil {
 			return nil, err
 		}

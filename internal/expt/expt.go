@@ -95,6 +95,13 @@ type Env struct {
 
 	seed uint64
 
+	// parent is the Env this one was cloned from (nil for roots). The
+	// root owns the chip pool its clones recycle through: Clone pulls a
+	// Reset device instead of building one, Release returns it. Safe
+	// for concurrent cloners (sync.Pool).
+	parent *Env
+	pool   sync.Pool
+
 	order probeCell[*core.RowOrder]
 	sub   probeCell[*core.SubarrayLayout]
 	cells probeCell[*core.CellPolarity]
@@ -133,16 +140,50 @@ func (e *Env) Commands() host.Counters { return e.Host.Counters() }
 // multiple goroutines; the parent's cached probe results are shared by
 // pointer and must be treated as immutable.
 func (e *Env) Clone() (*Env, error) {
-	ne, err := NewEnv(e.Prof, e.seed)
-	if err != nil {
-		return nil, err
+	root := e
+	for root.parent != nil {
+		root = root.parent
 	}
-	ne.Bank = e.Bank
+	var c *chip.Chip
+	if v := root.pool.Get(); v != nil {
+		// A released clone's device: Reset restores power-on state
+		// exactly (same profile and seed family by construction), so the
+		// recycled chip is indistinguishable from a fresh one.
+		c = v.(*chip.Chip)
+		c.Reset()
+	} else {
+		var err error
+		c, err = chip.New(e.Prof, e.seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ne := &Env{
+		Prof:   e.Prof,
+		Chip:   c,
+		Host:   host.New(c),
+		Bank:   e.Bank,
+		seed:   e.seed,
+		parent: root,
+	}
 	ne.order.copyFrom(&e.order)
 	ne.sub.copyFrom(&e.sub)
 	ne.cells.copyFrom(&e.cells)
 	ne.swz.copyFrom(&e.swz)
 	return ne, nil
+}
+
+// Release returns a clone's device to its parent's pool for the next
+// Clone to recycle, and severs this Env from it. Only the final owner
+// may call Release, and the Env must not be used afterward (Chip and
+// Host are nil). Releasing a root Env is a no-op.
+func (e *Env) Release() {
+	if e.parent == nil || e.Chip == nil {
+		return
+	}
+	e.parent.pool.Put(e.Chip)
+	e.Chip = nil
+	e.Host = nil
 }
 
 // Order runs (and caches) the row-order probe.

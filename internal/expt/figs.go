@@ -456,6 +456,7 @@ func fig16Unit(e *Env, rows, unit int) (stats.BER, error) {
 	if err != nil {
 		return stats.BER{}, err
 	}
+	defer c.Release()
 	a, err := c.AIB()
 	if err != nil {
 		return stats.BER{}, err

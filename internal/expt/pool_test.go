@@ -1,0 +1,129 @@
+package expt
+
+import (
+	"testing"
+
+	"dramscope/internal/topo"
+)
+
+// A released clone's device must come back through the pool, and the
+// recycled clone must behave exactly like a first-generation one.
+//
+// The pool-identity assertions here (and below) skip under the race
+// detector: race-mode sync.Pool deliberately drops Put items at
+// random, so "Get returns what was Put" does not hold there. The
+// behavioral assertions still run; the cross-shard race job covers
+// the pool's concurrency surface.
+func TestCloneReleaseRecyclesDevice(t *testing.T) {
+	parent, err := NewEnv(topo.Small(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := parent.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := first.Host.ReadRow(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Host.FillRow(0, 10, 0xabcdef); err != nil {
+		t.Fatal(err)
+	}
+	chip := first.Chip
+	first.Release()
+	if first.Chip != nil || first.Host != nil {
+		t.Fatal("Release must sever the clone from its device")
+	}
+
+	second, err := parent.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raceEnabled && second.Chip != chip {
+		t.Fatal("second clone should recycle the released device")
+	}
+	if second.Chip.Now() != 0 {
+		t.Fatalf("recycled device starts at %v, want power-on time 0", second.Chip.Now())
+	}
+	got, err := second.Host.ReadRow(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("col %d: recycled clone read %#x, pristine clone %#x", i, got[i], ref[i])
+		}
+	}
+}
+
+// Releasing a root Env is a no-op: only clones recycle.
+func TestReleaseRootIsNoop(t *testing.T) {
+	root, err := NewEnv(topo.Small(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Release()
+	if root.Chip == nil || root.Host == nil {
+		t.Fatal("Release must not tear down a root Env")
+	}
+}
+
+// A clone of a clone must recycle through the shared root pool, so
+// chains of clones still reuse one device.
+func TestCloneOfCloneSharesRootPool(t *testing.T) {
+	root, err := NewEnv(topo.Small(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := root.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := c1.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := c2.Chip
+	c2.Release()
+	c3, err := root.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raceEnabled && c3.Chip != dev {
+		t.Fatal("grandchild's released device must be visible to the root's next clone")
+	}
+	if c3.Chip == nil || c3.Chip.Now() != 0 {
+		t.Fatal("root's next clone must be a pristine device")
+	}
+}
+
+// The pooled clone path must not rebuild device state: a Clone/Release
+// cycle on a warm pool stays within a handful of small allocations
+// (the Env and Host shells), never a bank's worth of arrays.
+func TestPooledCloneAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops items at random; allocation counts are meaningless")
+	}
+	parent, err := NewEnv(topo.Small(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the pool so the measured cycles always hit it.
+	warm, err := parent.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Release()
+
+	allocs := testing.AllocsPerRun(50, func() {
+		c, err := parent.Clone()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Release()
+	})
+	if allocs > 16 {
+		t.Fatalf("pooled Clone/Release allocates %.0f objects per cycle; the device is being rebuilt", allocs)
+	}
+}

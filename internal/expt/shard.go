@@ -110,3 +110,14 @@ func (sj *ShardJob) acts() int64 {
 	}
 	return total
 }
+
+// release returns every measurement clone's device to the parent
+// Env's pool, once the scheduler has charged their activations. The
+// next unit's CloneEnv then recycles a Reset device instead of
+// allocating a bank's worth of state.
+func (sj *ShardJob) release() {
+	for _, c := range sj.clones {
+		c.Release()
+	}
+	sj.clones = nil
+}

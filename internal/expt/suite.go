@@ -906,6 +906,9 @@ func (s *Suite) runNode(n *node) {
 			// An experiment whose measurement crossed the cap is the
 			// offending one and fails with the typed error.
 			be = s.chargeActs(j.env.Commands().ACT)
+			// The clone is fully accounted; recycle its device for the
+			// next experiment on this device to Clone cheaply.
+			j.env.Release()
 		}
 		if err != nil {
 			n.res.Err = err
@@ -955,6 +958,9 @@ func (s *Suite) runShard(n *node, env *Env) {
 		if be := s.chargeActs(sj.acts()); err == nil && be != nil {
 			val, err = nil, error(be)
 		}
+		// All clones are charged; return their devices to the pool so
+		// the next unit reuses them instead of reallocating.
+		sj.release()
 		sr.state.outs[i] = unitOut{val: val, err: err}
 	}
 }

@@ -6,6 +6,12 @@
 // reverse-engineering techniques are built from: hammering, pressing,
 // RowCopy, retention waits, and whole-row reads/writes.
 //
+// The composite operations issue their bursts as sim.Batch kernels
+// (ExecBatch): the target validates timing once per burst, and the
+// host folds the per-command counter updates into one batch-sized
+// add. Single commands still go through Exec, the scalar reference
+// path.
+//
 // Probes in package core speak to devices exclusively through a Host;
 // they never touch ground-truth state.
 package host
@@ -21,6 +27,7 @@ import (
 // implements it.
 type Target interface {
 	Exec(sim.Command) (uint64, error)
+	ExecBatch(b sim.Batch, out []uint64) error
 	Pulse(bank, row, n int, tOn, tGap sim.Time) error
 	AdvanceTo(sim.Time) error
 	Now() sim.Time
@@ -79,6 +86,10 @@ type Host struct {
 	nRD  atomic.Int64
 	nWR  atomic.Int64
 	nREF atomic.Int64
+
+	// wbuf is the scratch pattern buffer the batched row writes reuse;
+	// safe because command issue is serialized (see counter comment).
+	wbuf []uint64
 }
 
 // New wraps a target.
@@ -102,7 +113,7 @@ func (h *Host) Counters() Counters {
 	}
 }
 
-// count records one issued command by opcode.
+// count records n issued commands of one opcode.
 func (h *Host) count(op sim.Op, n int64) {
 	switch op {
 	case sim.ACT:
@@ -130,6 +141,19 @@ func (h *Host) exec(cmd sim.Command) (uint64, error) {
 	cmd.At = h.at
 	h.count(cmd.Op, 1)
 	return h.t.Exec(cmd)
+}
+
+// execBatch issues a column burst (RD/WR) over the open row: the
+// first command lands one tRCD step after the current time and each
+// subsequent one another tRCD later, exactly like the scalar
+// Read/Write loop it replaces. One counter add covers the burst.
+func (h *Host) execBatch(b sim.Batch, out []uint64) error {
+	trcd := h.t.Timing().TRCD
+	b.At = h.at + trcd
+	b.Gap = trcd
+	h.at = b.End()
+	h.count(b.Op, int64(b.Count))
+	return h.t.ExecBatch(b, out)
 }
 
 func (h *Host) step(d sim.Time) { h.at += d }
@@ -174,54 +198,124 @@ func (h *Host) Refresh(bank int) error {
 	return err
 }
 
-// WriteRow writes pattern(col) to every column of a row.
+// patternBuf fills the reusable scratch buffer with pattern(col).
+func (h *Host) patternBuf(n int, pattern func(col int) uint64) []uint64 {
+	if cap(h.wbuf) < n {
+		h.wbuf = make([]uint64, n)
+	}
+	buf := h.wbuf[:n]
+	for col := range buf {
+		buf[col] = pattern(col)
+	}
+	return buf
+}
+
+// WriteRow writes pattern(col) to every column of a row, as one WR
+// burst over the whole row.
 func (h *Host) WriteRow(bank, row int, pattern func(col int) uint64) error {
 	if err := h.Activate(bank, row); err != nil {
 		return err
 	}
-	for col := 0; col < h.t.Columns(); col++ {
-		if err := h.Write(bank, col, pattern(col)); err != nil {
-			return err
-		}
+	cols := h.t.Columns()
+	b := sim.Batch{Op: sim.WR, Bank: bank, Col: 0, Stride: 1, Count: cols,
+		Data: h.patternBuf(cols, pattern)}
+	if err := h.execBatch(b, nil); err != nil {
+		return err
 	}
 	return h.Precharge(bank)
 }
 
 // FillRow writes the same burst value to every column.
 func (h *Host) FillRow(bank, row int, data uint64) error {
-	return h.WriteRow(bank, row, func(int) uint64 { return data })
+	if err := h.Activate(bank, row); err != nil {
+		return err
+	}
+	fill := [1]uint64{data}
+	b := sim.Batch{Op: sim.WR, Bank: bank, Col: 0, Stride: 1,
+		Count: h.t.Columns(), Data: fill[:]}
+	if err := h.execBatch(b, nil); err != nil {
+		return err
+	}
+	return h.Precharge(bank)
 }
 
 // ReadRow reads every column of a row.
 func (h *Host) ReadRow(bank, row int) ([]uint64, error) {
-	if err := h.Activate(bank, row); err != nil {
+	out := make([]uint64, h.t.Columns())
+	if err := h.ReadRowInto(bank, row, out); err != nil {
 		return nil, err
 	}
-	out := make([]uint64, h.t.Columns())
-	for col := range out {
-		v, err := h.Read(bank, col)
-		if err != nil {
-			return nil, err
-		}
-		out[col] = v
+	return out, nil
+}
+
+// ReadRowInto reads every column of a row into out (len Columns),
+// reusing the caller's buffer — the allocation-free variant scan
+// loops use.
+func (h *Host) ReadRowInto(bank, row int, out []uint64) error {
+	if len(out) != h.t.Columns() {
+		return fmt.Errorf("host: ReadRowInto wants a %d-column buffer, got %d", h.t.Columns(), len(out))
 	}
-	return out, h.Precharge(bank)
+	if err := h.Activate(bank, row); err != nil {
+		return err
+	}
+	b := sim.Batch{Op: sim.RD, Bank: bank, Col: 0, Stride: 1, Count: len(out)}
+	if err := h.execBatch(b, out); err != nil {
+		return err
+	}
+	return h.Precharge(bank)
+}
+
+// stridedCols reports whether cols forms an arithmetic walk the batch
+// kernels can express directly.
+func stridedCols(cols []int) (start, stride int, ok bool) {
+	if len(cols) == 0 {
+		return 0, 0, false
+	}
+	start = cols[0]
+	if len(cols) > 1 {
+		stride = cols[1] - cols[0]
+		for i := 2; i < len(cols); i++ {
+			if cols[i]-cols[i-1] != stride {
+				return 0, 0, false
+			}
+		}
+	}
+	return start, stride, true
 }
 
 // ReadCols reads only the given columns of a row (faster for scans).
 func (h *Host) ReadCols(bank, row int, cols []int) ([]uint64, error) {
-	if err := h.Activate(bank, row); err != nil {
+	out := make([]uint64, len(cols))
+	if err := h.ReadColsInto(bank, row, cols, out); err != nil {
 		return nil, err
 	}
-	out := make([]uint64, len(cols))
-	for i, col := range cols {
-		v, err := h.Read(bank, col)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+	return out, nil
+}
+
+// ReadColsInto reads the given columns into out (len(cols) entries).
+// Arithmetic column walks — the common case — issue as one burst.
+func (h *Host) ReadColsInto(bank, row int, cols []int, out []uint64) error {
+	if len(out) != len(cols) {
+		return fmt.Errorf("host: ReadColsInto needs matching cols and out")
 	}
-	return out, h.Precharge(bank)
+	if err := h.Activate(bank, row); err != nil {
+		return err
+	}
+	if start, stride, ok := stridedCols(cols); ok {
+		b := sim.Batch{Op: sim.RD, Bank: bank, Col: start, Stride: stride, Count: len(cols)}
+		if err := h.execBatch(b, out); err != nil {
+			return err
+		}
+	} else {
+		for i, col := range cols {
+			v, err := h.Read(bank, col)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+	}
+	return h.Precharge(bank)
 }
 
 // WriteCols writes only the given columns of a row.
@@ -232,38 +326,44 @@ func (h *Host) WriteCols(bank, row int, cols []int, data []uint64) error {
 	if err := h.Activate(bank, row); err != nil {
 		return err
 	}
-	for i, col := range cols {
-		if err := h.Write(bank, col, data[i]); err != nil {
+	if start, stride, ok := stridedCols(cols); ok {
+		b := sim.Batch{Op: sim.WR, Bank: bank, Col: start, Stride: stride,
+			Count: len(cols), Data: data}
+		if err := h.execBatch(b, nil); err != nil {
 			return err
+		}
+	} else {
+		for i, col := range cols {
+			if err := h.Write(bank, col, data[i]); err != nil {
+				return err
+			}
 		}
 	}
 	return h.Precharge(bank)
 }
 
 // Hammer performs n single-sided RowHammer activations of a row
-// (ACT/PRE pairs at minimum legal spacing; §V-B uses 300K).
+// (ACT/PRE pairs at minimum legal spacing; §V-B uses 300K), issued as
+// one ACT-train batch.
 func (h *Host) Hammer(bank, row, n int) error {
 	tm := h.t.Timing()
-	if err := h.t.AdvanceTo(h.at); err != nil {
-		return err
-	}
-	if err := h.t.Pulse(bank, row, n, tm.TRAS, tm.TRP); err != nil {
-		return err
-	}
-	h.count(sim.ACT, int64(n))
-	h.count(sim.PRE, int64(n))
-	h.at = h.t.Now()
-	return nil
+	return h.pulseTrain(bank, row, n, tm.TRAS)
 }
 
 // Press performs n RowPress activations, keeping the row open for tOn
 // each time (§V-B uses 8K activations of 7.8us).
 func (h *Host) Press(bank, row, n int, tOn sim.Time) error {
+	return h.pulseTrain(bank, row, n, tOn)
+}
+
+// pulseTrain issues n ACT/PRE pulses with tOn on-time and a tRP
+// precharge gap as a single batch kernel, counting the expanded
+// pulses with one add per opcode.
+func (h *Host) pulseTrain(bank, row, n int, tOn sim.Time) error {
 	tm := h.t.Timing()
-	if err := h.t.AdvanceTo(h.at); err != nil {
-		return err
-	}
-	if err := h.t.Pulse(bank, row, n, tOn, tm.TRP); err != nil {
+	b := sim.Batch{Op: sim.ACT, At: h.at, Bank: bank, Row: row,
+		Count: n, On: tOn, Gap: tOn + tm.TRP}
+	if err := h.t.ExecBatch(b, nil); err != nil {
 		return err
 	}
 	h.count(sim.ACT, int64(n))
@@ -274,7 +374,10 @@ func (h *Host) Press(bank, row, n int, tOn sim.Time) error {
 
 // RowCopy performs the out-of-spec in-DRAM copy (§III-B): activate the
 // source, precharge after tRAS, then re-activate the destination
-// before the bitlines restore.
+// before the bitlines restore. The four commands are inherently
+// heterogeneous (the violating PRE→ACT gap is the point), so they stay
+// on the scalar path; the chip's charge-share kernel does the
+// word-packed transfer.
 func (h *Host) RowCopy(bank, src, dst int) error {
 	if err := h.Activate(bank, src); err != nil {
 		return err

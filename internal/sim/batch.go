@@ -1,0 +1,88 @@
+package sim
+
+import "fmt"
+
+// Batch is a homogeneous burst of DRAM commands: one opcode applied
+// Count times at a fixed issue-to-issue spacing, walking the column
+// dimension by Stride (RD/WR) or pulsing one row (ACT trains). It is
+// the batched-kernel counterpart of Command, modeled on the
+// batched-instruction streams of SoftMC-class testing hosts: the
+// device validates timing once per burst and executes the transfers as
+// a single kernel, instead of decoding Count individual commands.
+//
+// A Batch expresses exactly the burst shapes the reverse-engineering
+// workloads use — whole-row reads/writes (RD/WR sweeps over columns),
+// hammer and press loops (ACT/PRE pulse trains on one row) — and is
+// semantically identical to the equivalent Command loop, which remains
+// the reference implementation.
+type Batch struct {
+	Op   Op
+	At   Time // issue time of the first command
+	Gap  Time // issue-to-issue spacing of consecutive commands
+	Bank int
+
+	Row    int // row address (ACT)
+	Col    int // first column (RD/WR)
+	Stride int // column step per command (RD/WR)
+	Count  int // commands in the burst
+
+	// On is the per-pulse row-open time of an ACT train: each ACT is
+	// followed by a PRE after On, with the next ACT at Gap after the
+	// previous one (so the precharge gap is Gap-On). Zero means the
+	// batch is a single bare ACT that leaves the row open.
+	On Time
+
+	// Data holds WR bursts: one entry per command, or a single entry
+	// broadcast to the whole batch.
+	Data []uint64
+}
+
+// End returns the issue time of the batch's last command.
+func (b Batch) End() Time { return b.At + Time(b.Count-1)*b.Gap }
+
+// String renders the batch for traces and error messages.
+func (b Batch) String() string {
+	switch b.Op {
+	case ACT:
+		if b.On > 0 {
+			return fmt.Sprintf("%s ACTx%d b%d r%d on=%s gap=%s", b.At, b.Count, b.Bank, b.Row, b.On, b.Gap)
+		}
+		return fmt.Sprintf("%s ACT b%d r%d", b.At, b.Bank, b.Row)
+	case RD:
+		return fmt.Sprintf("%s RDx%d b%d c%d+%d", b.At, b.Count, b.Bank, b.Col, b.Stride)
+	case WR:
+		return fmt.Sprintf("%s WRx%d b%d c%d+%d", b.At, b.Count, b.Bank, b.Col, b.Stride)
+	default:
+		return fmt.Sprintf("%s %sx%d b%d", b.At, b.Op, b.Count, b.Bank)
+	}
+}
+
+// Validate checks the batch's internal consistency (device-independent
+// checks only; bank/column ranges and timing are the target's).
+func (b Batch) Validate() error {
+	if b.Count <= 0 {
+		return fmt.Errorf("sim: batch needs a positive count, got %d", b.Count)
+	}
+	if b.Count > 1 && b.Gap < 0 {
+		return fmt.Errorf("sim: batch gap %v is negative", b.Gap)
+	}
+	switch b.Op {
+	case RD, WR:
+		if b.On != 0 {
+			return fmt.Errorf("sim: %s batch cannot carry an on-time", b.Op)
+		}
+		if b.Op == WR && len(b.Data) != 1 && len(b.Data) != b.Count {
+			return fmt.Errorf("sim: WR batch wants 1 or %d data bursts, got %d", b.Count, len(b.Data))
+		}
+	case ACT:
+		if b.Count > 1 && b.On <= 0 {
+			return fmt.Errorf("sim: an ACT train needs a positive on-time")
+		}
+		if b.On > 0 && b.Gap <= b.On {
+			return fmt.Errorf("sim: ACT train gap %v must exceed on-time %v", b.Gap, b.On)
+		}
+	default:
+		return fmt.Errorf("sim: op %s cannot be batched", b.Op)
+	}
+	return nil
+}

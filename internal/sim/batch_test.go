@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+func TestBatchValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		b    Batch
+		ok   bool
+	}{
+		{"rd burst", Batch{Op: RD, Gap: Nanosecond, Stride: 1, Count: 8}, true},
+		{"single rd", Batch{Op: RD, Count: 1}, true},
+		{"wr broadcast", Batch{Op: WR, Gap: Nanosecond, Count: 8, Data: []uint64{1}}, true},
+		{"wr per-command", Batch{Op: WR, Gap: Nanosecond, Count: 2, Data: []uint64{1, 2}}, true},
+		{"bare act", Batch{Op: ACT, Count: 1}, true},
+		{"act train", Batch{Op: ACT, Count: 4, On: Nanosecond, Gap: 3 * Nanosecond}, true},
+
+		{"zero count", Batch{Op: RD, Count: 0}, false},
+		{"negative gap", Batch{Op: RD, Gap: -Nanosecond, Count: 2}, false},
+		{"rd with on-time", Batch{Op: RD, Count: 1, On: Nanosecond}, false},
+		{"wr without data", Batch{Op: WR, Gap: Nanosecond, Count: 2}, false},
+		{"wr data mismatch", Batch{Op: WR, Gap: Nanosecond, Count: 3, Data: []uint64{1, 2}}, false},
+		{"act train without on", Batch{Op: ACT, Count: 2, Gap: Nanosecond}, false},
+		{"act gap inside on", Batch{Op: ACT, Count: 2, On: Nanosecond, Gap: Nanosecond}, false},
+		{"pre batch", Batch{Op: PRE, Count: 1}, false},
+		{"ref batch", Batch{Op: REF, Count: 1}, false},
+		{"nop batch", Batch{Op: NOP, Count: 1}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.b.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestBatchEnd(t *testing.T) {
+	b := Batch{Op: RD, At: 100, Gap: 10, Count: 5}
+	if got := b.End(); got != 140 {
+		t.Fatalf("End() = %v, want 140", got)
+	}
+	one := Batch{Op: ACT, At: 77, Count: 1}
+	if got := one.End(); got != 77 {
+		t.Fatalf("single-command End() = %v, want its issue time", got)
+	}
+}
