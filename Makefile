@@ -6,9 +6,15 @@
 #   make bench   - regenerate every paper artifact as benchmarks
 #   make bench-snapshot - re-measure and commit the perf snapshots
 #                  (BENCH_suite.json / BENCH_campaign.json: ns/ACT,
-#                  cold/warm suite wall time, campaign throughput)
+#                  cold/warm suite wall time, campaign throughput;
+#                  BENCH_serve.json: serving-layer load test — latency
+#                  percentiles, coalesce rate, rejects)
 #   make bench-check - CI smoke gate: fail if the cold-suite ns/ACT
-#                  regressed more than 2x vs the committed snapshot
+#                  regressed more than 2x vs the committed snapshot,
+#                  or if BENCH_serve.json records 5xx errors or zero
+#                  coalesced requests
+#   make load    - hammer a self-hosted server with examples/loadgen
+#                  and print the ServeBench numbers (no files written)
 #   make suite   - run the concurrent experiment suite (all artifacts)
 #   make serve   - boot the HTTP run service (cmd/dramscoped)
 #   make golden  - regenerate the golden-report fixtures (full suite +
@@ -31,7 +37,7 @@ SUITE_FLAGS ?= -run all
 SERVE_FLAGS ?=
 STORE_DIR ?= dramscope-store
 
-.PHONY: build test race short bench bench-snapshot bench-check suite serve vet golden campaign clean-store
+.PHONY: build test race short bench bench-snapshot bench-check load suite serve vet golden campaign clean-store
 
 # The golden campaign population (mirrored by expt.GoldenCampaign and
 # asserted by TestGoldenCampaignReport): one representative device per
@@ -62,9 +68,16 @@ bench:
 # commit the diff.
 bench-snapshot:
 	$(GO) run ./cmd/benchsnap
+	$(GO) run ./examples/loadgen -selfhost -duration 5s -min-coalesced 1 -max-5xx 0 -out BENCH_serve.json
 
 bench-check:
 	$(GO) run ./cmd/benchsnap -check
+
+# LOAD_FLAGS passes through to examples/loadgen, e.g.
+#   make load LOAD_FLAGS='-duration 30s -clients 64 -hot 0.5'
+LOAD_FLAGS ?= -duration 5s
+load:
+	$(GO) run ./examples/loadgen -selfhost $(LOAD_FLAGS)
 
 suite:
 	$(GO) run ./cmd/experiments $(SUITE_FLAGS)

@@ -63,22 +63,36 @@ type CampaignBench struct {
 	RunsPerMinute float64 `json:"runs_per_minute"`
 }
 
+// serveBench is the slice of examples/loadgen's BENCH_serve.json the
+// -check gate validates: the snapshot must come from a real load test
+// (requests flowed), with a healthy server (no 5xx) whose single-flight
+// admission actually coalesced work.
+type serveBench struct {
+	Requests  int `json:"requests"`
+	Coalesced int `json:"coalesced"`
+	Errors5xx int `json:"errors_5xx"`
+}
+
 func main() {
 	suiteOut := flag.String("suite-out", "BENCH_suite.json", "suite snapshot path")
 	campaignOut := flag.String("campaign-out", "BENCH_campaign.json", "campaign snapshot path")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "serving snapshot path (written by examples/loadgen; -check validates it)")
 	check := flag.Bool("check", false, "re-measure the cold suite and fail on a gross ns/ACT regression vs -suite-out")
 	threshold := flag.Float64("threshold", 2.0, "-check fails when measured ns/ACT exceeds snapshot ns/ACT by this factor")
 	jobs := flag.Int("jobs", 1, "suite worker count for the measured runs (1 = the serial hot-path number)")
 	flag.Parse()
 
-	if err := run(*suiteOut, *campaignOut, *check, *threshold, *jobs); err != nil {
+	if err := run(*suiteOut, *campaignOut, *serveOut, *check, *threshold, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suiteOut, campaignOut string, check bool, threshold float64, jobs int) error {
+func run(suiteOut, campaignOut, serveOut string, check bool, threshold float64, jobs int) error {
 	if check {
+		if err := checkServe(serveOut); err != nil {
+			return err
+		}
 		return checkSuite(suiteOut, threshold, jobs)
 	}
 	sb, err := measureSuite(jobs, true)
@@ -225,6 +239,33 @@ func checkSuite(suiteOut string, threshold float64, jobs int) error {
 		return fmt.Errorf("hot path regressed: %.1f ns/ACT vs snapshot %.1f (more than %.1fx)",
 			got, want.NsPerAct, threshold)
 	}
+	return nil
+}
+
+// checkServe validates the committed serving snapshot: it must record
+// a real load test against a healthy server whose coalescing engaged.
+// Unlike the ns/ACT gate it re-reads rather than re-measures — a load
+// test needs minutes and a quiet machine, so CI regenerates it in its
+// own job and this gate keeps the committed numbers honest.
+func checkServe(serveOut string) error {
+	data, err := os.ReadFile(serveOut)
+	if err != nil {
+		return fmt.Errorf("no serving snapshot (run `make bench-snapshot` first): %w", err)
+	}
+	var sb serveBench
+	if err := json.Unmarshal(data, &sb); err != nil {
+		return fmt.Errorf("corrupt snapshot %s: %w", serveOut, err)
+	}
+	if sb.Requests == 0 {
+		return fmt.Errorf("%s records zero requests; not a real load test", serveOut)
+	}
+	if sb.Errors5xx > 0 {
+		return fmt.Errorf("%s records %d server errors (5xx)", serveOut, sb.Errors5xx)
+	}
+	if sb.Coalesced == 0 {
+		return fmt.Errorf("%s records zero coalesced requests; single-flight admission never engaged", serveOut)
+	}
+	fmt.Printf("serve: %d requests, %d coalesced, 0 5xx (%s ok)\n", sb.Requests, sb.Coalesced, serveOut)
 	return nil
 }
 

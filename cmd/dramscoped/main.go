@@ -50,6 +50,8 @@ func main() {
 	budget := flag.Int("budget", 0, "worker tokens shared across concurrent runs (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "result-cache capacity in entries (0 = default 64, negative = disabled)")
 	retain := flag.Int("retain", 0, "finished runs kept queryable before the oldest are evicted (0 = default 256)")
+	queue := flag.Int("queue", 0, "admitted executions allowed to wait for workers before POSTs answer 429 (0 = default 64, negative = none)")
+	clientQuota := flag.Int64("client-quota", 0, "per-client in-flight activation-budget quota; 0 disables (see docs/api.md)")
 	storeFlags := cli.BindStoreFlags(flag.CommandLine)
 	pprofFlags := cli.BindPprofFlags(flag.CommandLine)
 	flag.Parse()
@@ -58,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dramscoped:", err)
 		os.Exit(1)
 	}
-	err := run(*addr, *budget, *cacheSize, *retain, storeFlags)
+	err := run(*addr, *budget, *cacheSize, *retain, *queue, *clientQuota, storeFlags)
 	// Flush profiles before exiting either way: the profile of a
 	// crashed server is the interesting one.
 	if perr := pprofFlags.Stop(); err == nil {
@@ -70,14 +72,27 @@ func main() {
 	}
 }
 
-func run(addr string, budget, cacheSize, retain int, storeFlags *cli.StoreFlags) error {
+func run(addr string, budget, cacheSize, retain, queue int, clientQuota int64, storeFlags *cli.StoreFlags) error {
 	st, err := storeFlags.Open()
 	if err != nil {
 		return err
 	}
+	handler := serve.New(serve.Config{
+		Budget:      budget,
+		CacheSize:   cacheSize,
+		Retain:      retain,
+		QueueSize:   queue,
+		ClientQuota: clientQuota,
+		Store:       st,
+	})
 	srv := &http.Server{
 		Addr:    addr,
-		Handler: serve.New(serve.Config{Budget: budget, CacheSize: cacheSize, Retain: retain, Store: st}),
+		Handler: handler,
+		// Slow-header clients must not pin connections forever; idle
+		// keep-alives are bounded too. No WriteTimeout: /stream responses
+		// are long-lived by design and would be severed mid-run.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,11 +108,18 @@ func run(addr string, budget, cacheSize, retain int, storeFlags *cli.StoreFlags)
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		// Graceful drain: stop accepting, give in-flight responses a
-		// moment, then force-close (long-lived streams keep the
-		// connection open, so a hard deadline is required).
+		// Graceful drain, in two layers and one deadline: first the
+		// manager (refuse new admissions, cancel running suites, wait for
+		// execution goroutines — so nothing is still writing to the store
+		// when the process exits), then the HTTP server (in-flight
+		// streams see their runs' terminal events during the manager
+		// drain and close on their own; stragglers hit the hard
+		// deadline).
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if err := handler.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}

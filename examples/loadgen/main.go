@@ -1,0 +1,345 @@
+// Command loadgen hammers a dramscoped instance with a mixed hot/cold
+// request distribution and reports what the hardening layer did about
+// it: latency percentiles, coalesce rate, cache hits, and 429
+// backpressure rejects, written as the committed BENCH_serve.json
+// snapshot alongside the suite/campaign perf snapshots.
+//
+// The workload has two phases. First a coalesce burst: every client
+// POSTs the identical, never-before-seen spec at a barrier, so the
+// server must collapse the wave onto one suite execution (single-flight
+// admission) — the burst repeats with a fresh seed until at least one
+// request reports coalesced, so the committed snapshot always
+// exercises the path. Then a mixed phase: for -duration, each client
+// flips a -hot coin between the shared hot spec (an LRU hit after the
+// first completion) and a cold spec drawn from -cold-seeds seeds.
+//
+// Usage:
+//
+//	go run ./examples/loadgen -selfhost -out BENCH_serve.json
+//	dramscoped -addr :8077 &
+//	go run ./examples/loadgen -addr http://127.0.0.1:8077 -duration 10s
+//
+// -selfhost boots an in-process server (no network flakiness, the mode
+// `make bench-snapshot` uses); -addr points at a running dramscoped.
+// -max-5xx and -min-coalesced turn the report into a CI gate: exit
+// nonzero when the server errored or never coalesced.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dramscope/internal/serve"
+)
+
+// ServeBench is the committed BENCH_serve.json shape: one load-test
+// snapshot of the serving layer under the two-phase workload above.
+type ServeBench struct {
+	Schema      int     `json:"schema"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	Clients     int     `json:"clients"`
+	DurationMS  int64   `json:"duration_ms"`
+	Selection   string  `json:"selection"`
+	HotFraction float64 `json:"hot_fraction"`
+
+	Requests    int `json:"requests"`
+	Completed   int `json:"completed"`
+	Cached      int `json:"cached"`
+	Coalesced   int `json:"coalesced"`
+	Rejected429 int `json:"rejected_429"`
+	Errors5xx   int `json:"errors_5xx"`
+	Failed      int `json:"failed"`
+
+	CoalesceRate      float64 `json:"coalesce_rate"`
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	P50Ms             float64 `json:"p50_ms"`
+	P95Ms             float64 `json:"p95_ms"`
+	P99Ms             float64 `json:"p99_ms"`
+}
+
+// runStatus mirrors the few serve.RunStatus fields the generator needs
+// (decoding through the wire shape keeps it honest about the API).
+type runStatus struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced"`
+	Error     string `json:"error"`
+}
+
+// tally is the generator's shared scoreboard.
+type tally struct {
+	mu        sync.Mutex
+	requests  int
+	completed int
+	cached    int
+	coalesced int
+	rejected  int
+	errors5xx int
+	failed    int
+	latencies []float64 // ms, POST to terminal state, completed runs only
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running dramscoped (e.g. http://127.0.0.1:8077)")
+	selfhost := flag.Bool("selfhost", false, "boot an in-process server instead of targeting -addr")
+	duration := flag.Duration("duration", 5*time.Second, "mixed-phase wall time")
+	clients := flag.Int("clients", 16, "concurrent client goroutines")
+	hot := flag.Float64("hot", 0.7, "fraction of mixed-phase requests using the shared hot spec")
+	coldSeeds := flag.Int("cold-seeds", 32, "distinct cold seeds (the cold digest space)")
+	selection := flag.String("run", "table1", "experiment selection for mixed-phase requests (comma-separated)")
+	burstRun := flag.String("burst-run", "defense", "experiment selection for the coalesce burst (heavy enough that followers arrive while the leader still runs)")
+	out := flag.String("out", "", "write the ServeBench snapshot here (default: stdout)")
+	max5xx := flag.Int("max-5xx", -1, "fail when the server returned more than this many 5xx (-1 = no gate)")
+	minCoalesced := flag.Int("min-coalesced", -1, "fail when fewer than this many requests coalesced (-1 = no gate)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	flag.Parse()
+
+	if err := run(*addr, *selfhost, *duration, *clients, *hot, *coldSeeds,
+		*selection, *burstRun, *out, *max5xx, *minCoalesced, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, selfhost bool, duration time.Duration, clients int, hot float64,
+	coldSeeds int, selection, burstRun, out string, max5xx, minCoalesced int, seed int64) error {
+	if selfhost {
+		ts := httptest.NewServer(serve.New(serve.Config{}))
+		defer ts.Close()
+		addr = ts.URL
+	}
+	if addr == "" {
+		return fmt.Errorf("need -addr or -selfhost")
+	}
+	if clients < 1 {
+		clients = 1
+	}
+
+	body := func(runSeed int64, sel string) string {
+		if sel == "" {
+			return fmt.Sprintf(`{"seed":%d}`, runSeed)
+		}
+		names, _ := json.Marshal(splitComma(sel))
+		return fmt.Sprintf(`{"seed":%d,"only":%s}`, runSeed, names)
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	tl := &tally{}
+	t0 := time.Now()
+
+	// Phase 1 — coalesce burst: all clients POST one identical cold
+	// spec at a barrier. Repeat with a fresh seed until the server
+	// reports at least one coalesced admission (each wave's digest is
+	// new, so an LRU hit can never mask the result).
+	const burstBase = 900000
+	for wave := 0; wave < 8; wave++ {
+		burstBody := body(burstBase+int64(wave), burstRun)
+		var barrier, done sync.WaitGroup
+		barrier.Add(1)
+		for c := 0; c < clients; c++ {
+			done.Add(1)
+			go func() {
+				defer done.Done()
+				barrier.Wait()
+				tl.post(client, addr, burstBody)
+			}()
+		}
+		barrier.Done()
+		done.Wait()
+		if tl.snapshot().Coalesced > 0 {
+			break
+		}
+	}
+
+	// Phase 2 — mixed hot/cold load for the measured duration.
+	hotBody := body(burstBase-1, selection)
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(c)))
+			for time.Now().Before(deadline) {
+				b := hotBody
+				if rng.Float64() >= hot {
+					b = body(1000+int64(rng.Intn(coldSeeds)), selection)
+				}
+				tl.post(client, addr, b)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	sb := tl.snapshot()
+	if wall := time.Since(t0).Seconds(); wall > 0 {
+		sb.RequestsPerSecond = float64(sb.Requests) / wall
+	}
+	sb.Schema = 1
+	sb.GoMaxProcs = runtime.GOMAXPROCS(0)
+	sb.Clients = clients
+	sb.DurationMS = duration.Milliseconds()
+	sb.Selection = selection
+	sb.HotFraction = hot
+
+	data, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("loadgen: %d requests, %.0f%% coalesce+cache, p50 %.1fms p95 %.1fms p99 %.1fms, %d rejected, %d 5xx -> %s\n",
+			sb.Requests, 100*float64(sb.Cached+sb.Coalesced)/float64(max(sb.Requests, 1)),
+			sb.P50Ms, sb.P95Ms, sb.P99Ms, sb.Rejected429, sb.Errors5xx, out)
+	}
+
+	if max5xx >= 0 && sb.Errors5xx > max5xx {
+		return fmt.Errorf("%d server errors (5xx), gate allows %d", sb.Errors5xx, max5xx)
+	}
+	if minCoalesced >= 0 && sb.Coalesced < minCoalesced {
+		return fmt.Errorf("%d coalesced requests, gate requires %d", sb.Coalesced, minCoalesced)
+	}
+	return nil
+}
+
+// post issues one run request and, for admitted runs, polls it to its
+// terminal state, recording the POST-to-terminal latency.
+func (tl *tally) post(client *http.Client, addr, body string) {
+	start := time.Now()
+	resp, err := client.Post(addr+"/runs", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		tl.mu.Lock()
+		tl.requests++
+		tl.failed++
+		tl.mu.Unlock()
+		return
+	}
+	var st runStatus
+	derr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	tl.mu.Lock()
+	tl.requests++
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		tl.rejected++
+		tl.mu.Unlock()
+		time.Sleep(20 * time.Millisecond) // honor the backpressure
+		return
+	case resp.StatusCode >= 500:
+		tl.errors5xx++
+		tl.mu.Unlock()
+		return
+	case resp.StatusCode >= 400 || derr != nil:
+		tl.failed++
+		tl.mu.Unlock()
+		return
+	}
+	if st.Cached {
+		tl.cached++
+	}
+	if st.Coalesced {
+		tl.coalesced++
+	}
+	tl.mu.Unlock()
+
+	// 200 responses are terminal already; 202 runs are polled down.
+	for st.State == "running" {
+		time.Sleep(2 * time.Millisecond)
+		r2, err := client.Get(addr + "/runs/" + st.ID)
+		if err != nil {
+			tl.mu.Lock()
+			tl.failed++
+			tl.mu.Unlock()
+			return
+		}
+		err = json.NewDecoder(r2.Body).Decode(&st)
+		r2.Body.Close()
+		if err != nil || r2.StatusCode != http.StatusOK {
+			tl.mu.Lock()
+			tl.failed++
+			tl.mu.Unlock()
+			return
+		}
+	}
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+
+	tl.mu.Lock()
+	if st.State == "done" {
+		tl.completed++
+		tl.latencies = append(tl.latencies, elapsed)
+	} else {
+		tl.failed++
+	}
+	tl.mu.Unlock()
+}
+
+// snapshot freezes the scoreboard into the wire shape, computing exact
+// (sorted, not bucketed) percentiles over the completed-run latencies.
+func (tl *tally) snapshot() ServeBench {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	sb := ServeBench{
+		Requests:    tl.requests,
+		Completed:   tl.completed,
+		Cached:      tl.cached,
+		Coalesced:   tl.coalesced,
+		Rejected429: tl.rejected,
+		Errors5xx:   tl.errors5xx,
+		Failed:      tl.failed,
+	}
+	if sb.Requests > 0 {
+		sb.CoalesceRate = float64(sb.Coalesced) / float64(sb.Requests)
+	}
+	lat := append([]float64(nil), tl.latencies...)
+	sort.Float64s(lat)
+	sb.P50Ms = pct(lat, 0.50)
+	sb.P95Ms = pct(lat, 0.95)
+	sb.P99Ms = pct(lat, 0.99)
+	return sb
+}
+
+// pct returns the p-th percentile of a sorted slice (nearest-rank).
+func pct(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted)) + 0.5)
+	if i < 1 {
+		i = 1
+	}
+	if i > len(sorted) {
+		i = len(sorted)
+	}
+	return sorted[i-1]
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

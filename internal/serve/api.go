@@ -118,8 +118,12 @@ type RunStatus struct {
 	Completed int `json:"completed"`
 	// Cached reports that the run was served from the result cache
 	// without executing.
-	Cached bool   `json:"cached,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports that the run joined an identical in-flight
+	// execution (single-flight admission) instead of executing its own
+	// suite. Its report is byte-identical to a solo run's.
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
 	// ErrorKind classifies machine-actionable failures (currently only
 	// ErrorKindBudget).
 	ErrorKind string `json:"errorKind,omitempty"`

@@ -20,8 +20,10 @@ import (
 
 // campaign is one admitted campaign's lifecycle state.
 type campaign struct {
-	id   string
-	runs []*run // member runs, campaign order
+	id        string
+	runs      []*run // member runs, campaign order
+	client    string // quota identity of the admitting client
+	quotaCost int64  // campaign-level quota charge, released when it finishes
 
 	mu        sync.Mutex
 	changed   chan struct{} // closed and replaced on every state change
@@ -80,8 +82,12 @@ func (c *campaign) status(withReport bool) CampaignStatus {
 // StartCampaign expands and admits a campaign: every member spec is
 // resolved up front (one bad spec rejects the whole campaign before
 // any work starts), admitted as an ordinary run on the shared worker
-// pool, and watched to completion in campaign order.
-func (m *Manager) StartCampaign(req CampaignRequest) (*campaign, error) {
+// pool, and watched to completion in campaign order. Admission control
+// is all-or-nothing: the campaign reserves an execution slot per
+// member and charges the client quota for the whole population up
+// front, so a campaign either fits entirely (429 otherwise) and can
+// never deadlock half-admitted against the queue cap.
+func (m *Manager) StartCampaign(req CampaignRequest, client string) (*campaign, error) {
 	reqs, err := req.expand()
 	if err != nil {
 		return nil, err
@@ -99,22 +105,69 @@ func (m *Manager) StartCampaign(req CampaignRequest) (*campaign, error) {
 		specs[i], suites[i] = rs, suite
 	}
 
+	var quotaCost int64
+	if m.quota != nil {
+		for _, rs := range specs {
+			quotaCost += m.quota.cost(rs.MaxActivations)
+		}
+		if quotaCost > m.quota.limit {
+			// A population larger than one client's whole quota still
+			// admits — at full-quota cost, serializing that client's
+			// campaigns — mirroring how an unbudgeted solo run charges
+			// the full quota rather than being unservable.
+			quotaCost = m.quota.limit
+		}
+		if !m.quota.charge(client, quotaCost) {
+			m.metrics.rejectedQuota.Add(1)
+			return nil, ErrQuotaExceeded
+		}
+	}
+	if !m.reserveSlots(len(specs)) {
+		if m.quota != nil {
+			m.quota.release(client, quotaCost)
+		}
+		m.mu.Lock()
+		draining := m.draining
+		m.mu.Unlock()
+		if draining {
+			return nil, ErrDraining
+		}
+		m.metrics.rejectedQueue.Add(1)
+		return nil, ErrQueueFull
+	}
+
 	m.mu.Lock()
 	m.nextCampaign++
 	id := fmt.Sprintf("c%06d", m.nextCampaign)
 	m.mu.Unlock()
 
 	c := &campaign{
-		id:      id,
-		changed: make(chan struct{}),
-		state:   StateRunning,
-		lines:   make([][]byte, len(specs)),
+		id:        id,
+		client:    client,
+		quotaCost: quotaCost,
+		changed:   make(chan struct{}),
+		state:     StateRunning,
+		lines:     make([][]byte, len(specs)),
 	}
+	opts := admitOpts{pinned: true, reserved: true, exemptQuota: true, client: client}
 	for i := range specs {
 		// Members are admitted pinned: a warm campaign's members are
 		// terminal immediately, and retention must not evict them
 		// before the stream surfaces their run ids.
-		c.runs = append(c.runs, m.admitRun(specs[i], suites[i], true))
+		r, err := m.admitRun(specs[i], suites[i], opts)
+		if err != nil {
+			// Only ErrDraining can reach here (slots and quota are
+			// pre-reserved): unwind what was admitted and bail.
+			for _, adm := range c.runs {
+				m.cancelRun(adm.id, "server shutting down")
+			}
+			m.releaseSlots(len(specs) - i)
+			if m.quota != nil {
+				m.quota.release(client, quotaCost)
+			}
+			return nil, err
+		}
+		c.runs = append(c.runs, r)
 	}
 
 	m.mu.Lock()
@@ -123,13 +176,23 @@ func (m *Manager) StartCampaign(req CampaignRequest) (*campaign, error) {
 	m.mu.Unlock()
 	m.pruneCampaigns()
 
+	m.execWG.Add(1)
 	go m.watchCampaign(c, specs)
 	return c, nil
 }
 
 // watchCampaign waits for the members in campaign order, emitting one
-// stream line per completed run, then aggregates and finishes.
+// stream line per completed run, then aggregates and finishes. The
+// campaign's quota charge is released when it reaches a terminal
+// state — not per member, so a client cannot slip a second campaign in
+// while the first one's tail is still aggregating.
 func (m *Manager) watchCampaign(c *campaign, specs []*expt.ResolvedSpec) {
+	defer m.execWG.Done()
+	defer func() {
+		if m.quota != nil && c.quotaCost > 0 {
+			m.quota.release(c.client, c.quotaCost)
+		}
+	}()
 	results := make([]expt.CampaignRunResult, len(c.runs))
 	var failures []string
 	canceled := false
@@ -255,6 +318,10 @@ func (m *Manager) Campaigns() []*campaign {
 // run-cancellation path. Finished members keep their terminal state
 // (and their cached reports).
 func (m *Manager) CancelCampaign(id string) (*campaign, bool) {
+	return m.cancelCampaign(id, "canceled by client")
+}
+
+func (m *Manager) cancelCampaign(id, reason string) (*campaign, bool) {
 	c, ok := m.GetCampaign(id)
 	if !ok {
 		return nil, false
@@ -262,12 +329,12 @@ func (m *Manager) CancelCampaign(id string) (*campaign, bool) {
 	c.mu.Lock()
 	if c.state == StateRunning {
 		c.state = StateCanceled
-		c.errMsg = "canceled by client"
+		c.errMsg = reason
 		c.bump()
 	}
 	c.mu.Unlock()
 	for _, r := range c.runs {
-		m.Cancel(r.id)
+		m.cancelRun(r.id, reason)
 	}
 	return c, true
 }

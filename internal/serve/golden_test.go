@@ -33,6 +33,13 @@ func TestServeGoldenReport(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("POST /runs status = %d, want 202", resp.StatusCode)
 	}
+	// A duplicate POST while the suite runs must coalesce onto the same
+	// execution — and still serve fixture-identical bytes (checked at
+	// the end), the strongest form of the single-flight contract.
+	dup, resp := postRun(t, ts, `{}`)
+	if resp.StatusCode != http.StatusAccepted || !dup.Coalesced {
+		t.Fatalf("duplicate POST: status=%d coalesced=%v, want 202 coalesced", resp.StatusCode, dup.Coalesced)
+	}
 
 	// Drain the stream first: every experiment must arrive exactly
 	// once, in registration order, and the event payloads must carry
@@ -56,6 +63,12 @@ func TestServeGoldenReport(t *testing.T) {
 	got, code := getReport(t, ts, st.ID)
 	if code != http.StatusOK {
 		t.Fatalf("GET /report status = %d, want 200", code)
+	}
+	if final := waitDone(t, ts, dup.ID); final.State != StateDone {
+		t.Fatalf("coalesced follower state = %s, want done", final.State)
+	}
+	if coGot, coCode := getReport(t, ts, dup.ID); coCode != http.StatusOK || !bytes.Equal(coGot, want) {
+		t.Fatalf("coalesced follower's report (status %d) is not byte-identical to the fixture", coCode)
 	}
 	if bytes.Equal(got, want) {
 		return

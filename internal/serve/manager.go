@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +18,13 @@ import (
 // against a bounded worker budget shared across all concurrent runs
 // and campaigns, supports cancellation, and serves repeated requests
 // from an LRU result cache keyed by the spec digest.
+//
+// Admission is built for heavy traffic: the cache check, single-flight
+// registration, queue-capacity check, and quota charge happen under
+// one lock, so every request takes exactly one of four paths —
+// cache hit (free), coalesced follower of an in-flight identical run
+// (free), a bounded execution slot (queue + worker pool), or a typed
+// rejection (ErrQueueFull / ErrQuotaExceeded → 429).
 type Manager struct {
 	factory SuiteFactory
 	// budget is the shared worker-token pool. A run blocks until it
@@ -40,10 +48,36 @@ type Manager struct {
 	// evicted.
 	retain int
 
-	mu    sync.Mutex
-	runs  map[string]*run
-	order []string // run ids in admission order, for GET /runs
-	next  int
+	// maxQueue caps how many admitted executions may wait for worker
+	// tokens; admissions past maxQueue+workers are rejected with
+	// ErrQueueFull instead of growing an unbounded goroutine backlog.
+	maxQueue int
+
+	// quota, when non-nil, enforces the per-client in-flight
+	// activation-budget cap (see clientQuota).
+	quota *clientQuota
+
+	metrics *metrics
+
+	// execWG tracks every background goroutine the manager owns —
+	// executions, flight watchers, campaign watchers — so Shutdown can
+	// drain them instead of abandoning in-flight suites at process
+	// exit.
+	execWG sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool // set by Shutdown: all new admissions are refused
+	// outstanding counts admitted executions (queued or running) —
+	// the quantity the bounded queue caps. Cache hits and coalesced
+	// followers never count.
+	outstanding int
+	runs        map[string]*run
+	order       []string // run ids in admission order, for GET /runs
+	next        int
+
+	// flights maps a spec digest to its in-flight execution, so
+	// concurrent identical requests coalesce (see flight.go).
+	flights map[string]*flight
 
 	// pinned holds run ids retention must not evict: members of a
 	// still-queryable campaign, whose per-run reports clients fetch as
@@ -61,10 +95,28 @@ type Manager struct {
 	nextCampaign  int
 }
 
+// Typed admission failures. The HTTP layer maps the first two to
+// 429 Too Many Requests (with Retry-After) and draining to 503.
+var (
+	// ErrQueueFull: the bounded admission queue ahead of the worker
+	// pool is at capacity.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrQuotaExceeded: the client's in-flight activation-budget quota
+	// is exhausted.
+	ErrQuotaExceeded = errors.New("serve: client activation-budget quota exceeded")
+	// ErrDraining: the server is shutting down and admits nothing new.
+	ErrDraining = errors.New("serve: server is shutting down")
+)
+
 // defaultRetainTerminal is the default retention cap for finished
 // runs. Evicted runs answer 404; their cached reports (if any) remain
 // servable through new requests via the result cache.
 const defaultRetainTerminal = 256
+
+// defaultMaxQueue is the default admission-queue capacity: far more
+// than the worker pool (so bursts absorb), far less than "unbounded"
+// (so a flood answers 429 instead of OOMing the server).
+const defaultMaxQueue = 64
 
 // NewManager builds a manager with the given shared worker budget
 // (<= 0 means GOMAXPROCS) and result-cache capacity in entries
@@ -84,7 +136,10 @@ func NewManager(factory SuiteFactory, budget, cacheSize int) *Manager {
 		budget:    make(chan struct{}, budget),
 		cache:     newResultCache(cacheSize),
 		retain:    defaultRetainTerminal,
+		maxQueue:  defaultMaxQueue,
+		metrics:   newMetrics(),
 		runs:      make(map[string]*run),
+		flights:   make(map[string]*flight),
 		pinned:    make(map[string]bool),
 		campaigns: make(map[string]*campaign),
 	}
@@ -96,13 +151,18 @@ func NewManager(factory SuiteFactory, budget, cacheSize int) *Manager {
 
 // run is one admitted request's lifecycle state.
 type run struct {
-	id     string
-	spec   *expt.ResolvedSpec
-	cached bool
-	cancel context.CancelFunc
+	id        string
+	spec      *expt.ResolvedSpec
+	client    string    // quota identity of the admitting client
+	admitted  time.Time // for the run-latency histogram
+	quotaCost int64     // charge held against the client quota (0 = none)
 
 	mu        sync.Mutex
 	changed   chan struct{} // closed and replaced on every state change
+	cancel    context.CancelFunc
+	suite     *expt.Suite // follower's unrun suite, retained for failover
+	cached    bool
+	coalesced bool
 	state     string
 	completed int
 	lines     [][]byte // per-experiment NDJSON payloads, by report index
@@ -111,7 +171,8 @@ type run struct {
 	errKind   string
 }
 
-// bump wakes every waiter (stream handlers, tests). Callers hold r.mu.
+// bump wakes every waiter (stream handlers, flight watchers, tests).
+// Callers hold r.mu.
 func (r *run) bump() {
 	close(r.changed)
 	r.changed = make(chan struct{})
@@ -135,6 +196,7 @@ func (r *run) status(withReport bool) RunStatus {
 		Total:          len(r.spec.Names),
 		Completed:      r.completed,
 		Cached:         r.cached,
+		Coalesced:      r.coalesced,
 		Error:          r.errMsg,
 		ErrorKind:      r.errKind,
 	}
@@ -145,67 +207,204 @@ func (r *run) status(withReport bool) RunStatus {
 }
 
 // Start admits one run request: validate (canonicalizing into a
-// ResolvedSpec), then admit.
-func (m *Manager) Start(req RunRequest) (*run, error) {
+// ResolvedSpec), then admit. client is the requester's quota identity
+// (empty disables quota accounting for the call).
+func (m *Manager) Start(req RunRequest, client string) (*run, error) {
 	rs, suite, err := resolveRequest(req, m.factory)
 	if err != nil {
 		return nil, err
 	}
-	return m.admit(rs, suite), nil
+	return m.admitRun(rs, suite, admitOpts{client: client})
 }
 
-// admit registers one resolved spec: check the cache, and either
-// return a pre-completed cached run or launch the suite on the shared
-// worker pool. The returned run is already registered and queryable.
-func (m *Manager) admit(rs *expt.ResolvedSpec, suite *expt.Suite) *run {
-	return m.admitRun(rs, suite, false)
+// admitOpts tunes admitRun for its two callers: interactive runs
+// (zero value) and campaign members.
+type admitOpts struct {
+	// pinned: campaign member, exempt from retention eviction while
+	// its campaign stays queryable.
+	pinned bool
+	// reserved: the caller pre-reserved an execution slot (campaign
+	// all-or-nothing admission); admitRun consumes it instead of
+	// checking the queue, and releases it on the free paths.
+	reserved bool
+	// exemptQuota: the caller already charged the client quota at a
+	// higher level (the campaign's all-or-nothing charge).
+	exemptQuota bool
+	// client is the quota identity.
+	client string
 }
 
-// admitRun is admit with retention pinning: campaign members are
-// registered pinned (before the admission-time prune runs) so a
-// streaming client can always fetch a member's report while its
-// campaign is live, and every member is otherwise an ordinary run
-// with its own id, report, and stream.
-func (m *Manager) admitRun(rs *expt.ResolvedSpec, suite *expt.Suite, pinned bool) *run {
+// Admission-path outcomes, decided under m.mu in admitRun.
+const (
+	admitExec      = iota // fresh flight leader: consumes a slot, executes
+	admitCached           // LRU hit: pre-completed
+	admitCoalesced        // follower of an in-flight identical run
+)
+
+// admitRun registers one resolved spec. The decisive checks — result
+// cache, in-flight coalescing, queue capacity, client quota — all
+// happen under one lock, so two racing identical requests can never
+// both execute, and a run is either admitted with bounded resources or
+// rejected with a typed error before any state is created.
+func (m *Manager) admitRun(rs *expt.ResolvedSpec, suite *expt.Suite, opts admitOpts) (*run, error) {
+	digest := rs.Digest() // memoized; compute outside the lock
+
 	m.mu.Lock()
-	m.next++
-	id := fmt.Sprintf("r%06d", m.next)
-	m.mu.Unlock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, ErrDraining
+	}
 
 	r := &run{
-		id:      id,
-		spec:    rs,
-		changed: make(chan struct{}),
-		state:   StateRunning,
-		lines:   make([][]byte, len(rs.Names)),
+		spec:     rs,
+		client:   opts.client,
+		admitted: time.Now(),
+		changed:  make(chan struct{}),
+		cancel:   func() {},
+		state:    StateRunning,
+		lines:    make([][]byte, len(rs.Names)),
 	}
 
-	e, hit := m.cache.get(rs.Digest())
-	if !hit {
-		e, hit = m.loadStored(rs)
-	}
-	if hit {
+	var fl *flight
+	path := admitExec
+	if e, hit := m.cache.get(digest); hit {
+		path = admitCached
+		m.metrics.lruHits.Add(1)
 		r.cached = true
 		r.state = StateDone
 		r.completed = len(e.names)
 		r.lines = e.lines
 		r.report = e.report
-		r.cancel = func() {}
+	} else if f, ok := m.flights[digest]; ok {
+		path = admitCoalesced
+		m.metrics.coalesced.Add(1)
+		r.coalesced = true
+		r.suite = suite // retained: the failover suite if the leader cancels
+		f.addFollower(r)
 	} else {
-		ctx, cancel := context.WithCancel(context.Background())
-		r.cancel = cancel
-		go m.exec(ctx, r, suite)
+		if !opts.reserved {
+			if m.outstanding >= m.maxQueue+cap(m.budget) {
+				m.mu.Unlock()
+				m.metrics.rejectedQueue.Add(1)
+				return nil, ErrQueueFull
+			}
+			m.outstanding++
+		}
+		if m.quota != nil && !opts.exemptQuota {
+			cost := m.quota.cost(rs.MaxActivations)
+			if !m.quota.charge(opts.client, cost) {
+				if !opts.reserved {
+					m.outstanding--
+				}
+				m.mu.Unlock()
+				m.metrics.rejectedQuota.Add(1)
+				if opts.reserved {
+					m.releaseSlots(1)
+				}
+				return nil, ErrQuotaExceeded
+			}
+			r.quotaCost = cost
+		}
+		fl = &flight{digest: digest, leader: r}
+		m.flights[digest] = fl
 	}
 
-	m.mu.Lock()
-	m.runs[id] = r
-	m.order = append(m.order, id)
-	if pinned {
-		m.pinned[id] = true
+	m.next++
+	r.id = fmt.Sprintf("r%06d", m.next)
+	m.runs[r.id] = r
+	m.order = append(m.order, r.id)
+	if opts.pinned {
+		m.pinned[r.id] = true
 	}
 	m.mu.Unlock()
+	m.metrics.admitted.Add(1)
+
+	switch path {
+	case admitCached, admitCoalesced:
+		// Free paths: a pre-reserved campaign slot is not needed.
+		if opts.reserved {
+			m.releaseSlots(1)
+		}
+	case admitExec:
+		m.execWG.Add(1)
+		go m.watchFlight(fl)
+		if e, hit := m.loadStored(rs); hit {
+			// Persistent-store hit: complete the leader without
+			// executing; the flight watcher fans the result out to any
+			// followers that joined while the store was consulted.
+			m.metrics.storeHits.Add(1)
+			r.completeFromEntry(e)
+			m.releaseAdmission(r)
+		} else {
+			m.metrics.executed.Add(1)
+			ctx, cancel := context.WithCancel(context.Background())
+			r.mu.Lock()
+			r.cancel = cancel
+			r.mu.Unlock()
+			m.startExec(ctx, r, suite)
+		}
+	}
 	m.prune()
-	return r
+	return r, nil
+}
+
+// completeFromEntry moves an already-registered run to done with a
+// cache entry's artifacts (the persistent-store hit path; LRU hits
+// complete before registration).
+func (r *run) completeFromEntry(e *cacheEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateRunning {
+		return
+	}
+	r.cached = true
+	r.state = StateDone
+	r.completed = len(e.names)
+	r.lines = e.lines
+	r.report = e.report
+	r.bump()
+}
+
+// reserveSlots atomically claims n execution slots for a campaign's
+// all-or-nothing admission; false means the queue cannot hold the
+// campaign and the whole request must be rejected.
+func (m *Manager) reserveSlots(n int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining || m.outstanding+n > m.maxQueue+cap(m.budget) {
+		return false
+	}
+	m.outstanding += n
+	return true
+}
+
+// releaseSlots returns n execution slots.
+func (m *Manager) releaseSlots(n int) {
+	m.mu.Lock()
+	m.outstanding -= n
+	m.mu.Unlock()
+}
+
+// addOutstanding grows the outstanding count without a capacity check
+// — the failover path, whose execution replaces one that was already
+// admitted.
+func (m *Manager) addOutstanding(n int) {
+	m.mu.Lock()
+	m.outstanding += n
+	m.mu.Unlock()
+}
+
+// releaseAdmission returns an execution's bounded resources: its queue
+// slot and its quota charge.
+func (m *Manager) releaseAdmission(r *run) {
+	m.releaseSlots(1)
+	r.mu.Lock()
+	cost := r.quotaCost
+	r.quotaCost = 0
+	r.mu.Unlock()
+	if cost > 0 && m.quota != nil {
+		m.quota.release(r.client, cost)
+	}
 }
 
 // storeKey maps a resolved spec to its persistent-store key: the
@@ -352,14 +551,31 @@ func (m *Manager) release(n int) {
 	}
 }
 
+// startExec launches one execution goroutine under the shutdown
+// WaitGroup.
+func (m *Manager) startExec(ctx context.Context, r *run, suite *expt.Suite) {
+	m.execWG.Add(1)
+	go func() {
+		defer m.execWG.Done()
+		m.exec(ctx, r, suite)
+	}()
+}
+
 // exec runs one admitted request to completion on the shared pool.
 func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
+	defer m.finishExecution(r)
+	m.metrics.waiting.Add(1)
 	workers := m.acquire(ctx, r.spec.Jobs)
+	m.metrics.waiting.Add(-1)
 	if workers == 0 {
 		r.finish(StateCanceled, nil, context.Canceled.Error())
 		return
 	}
-	defer m.release(workers)
+	m.metrics.running.Add(1)
+	defer func() {
+		m.release(workers)
+		m.metrics.running.Add(-1)
+	}()
 
 	spec := r.spec.RunSpec
 	spec.Jobs = workers
@@ -369,6 +585,7 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 		OnResult: r.onResult,
 		Store:    m.artifacts,
 	})
+	m.metrics.addSuiteCost(suite.ProbeCost(), suite.ActivationsUsed())
 	switch {
 	case err != nil:
 		// Planning/registration failure: nothing ran.
@@ -405,6 +622,16 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 			_ = m.artifacts.SaveReport(storeKey(r.spec), data)
 		}
 	}
+}
+
+// finishExecution returns one execution's bounded resources and
+// records its outcome and latency.
+func (m *Manager) finishExecution(r *run) {
+	m.releaseAdmission(r)
+	r.mu.Lock()
+	state := r.state
+	r.mu.Unlock()
+	m.metrics.observeExecution(state, time.Since(r.admitted))
 }
 
 // setErrKind records a machine-actionable failure classification.
@@ -476,21 +703,62 @@ func (m *Manager) Runs() []*run {
 }
 
 // Cancel cancels a run by id. Canceling a finished (or cached) run is
-// a no-op; the run keeps its terminal state.
+// a no-op; the run keeps its terminal state. Canceling the leader of a
+// coalesced flight promotes a follower instead of stranding it (see
+// flight.go).
 func (m *Manager) Cancel(id string) (*run, bool) {
+	return m.cancelRun(id, "canceled by client")
+}
+
+func (m *Manager) cancelRun(id, reason string) (*run, bool) {
 	r, ok := m.Get(id)
 	if !ok {
 		return nil, false
 	}
 	r.mu.Lock()
+	cancel := r.cancel
 	if r.state == StateRunning {
 		r.state = StateCanceled
-		r.errMsg = "canceled by client"
+		r.errMsg = reason
+		r.suite = nil
 		r.bump()
 	}
 	r.mu.Unlock()
-	r.cancel()
+	cancel()
 	return r, true
+}
+
+// Shutdown drains the manager for process exit: new admissions are
+// refused (ErrDraining), every running run and campaign is canceled
+// through the usual cancellation path (in-flight experiments finish
+// their current node, then stop — no partial store writes), and the
+// call blocks until every execution, flight watcher, and campaign
+// watcher goroutine has returned or ctx expires.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	runs := append([]string(nil), m.order...)
+	camps := append([]string(nil), m.campaignOrder...)
+	m.mu.Unlock()
+
+	for _, id := range camps {
+		m.cancelCampaign(id, "server shutting down")
+	}
+	for _, id := range runs {
+		m.cancelRun(id, "server shutting down")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		m.execWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // wait returns the current stream position: NDJSON lines available

@@ -1,0 +1,61 @@
+package serve
+
+import "sync"
+
+// clientQuota enforces a per-client cap on in-flight declared
+// activation budget — the admission-control layer on top of each run's
+// own RunSpec.MaxActivations. Every execution a client has running
+// holds a charge equal to its declared budget; a run that declares no
+// budget (maxActivations 0) — or one declaring more than the whole
+// quota — charges the full quota, so on a quota-enforcing server an
+// unbudgeted client gets exactly one execution at a time and budgeted
+// clients get concurrency proportional to how little they ask for.
+// Charges are released when the execution finishes. Cache hits and
+// coalesced followers are free: they cost the server nothing, so the
+// quota never penalizes them.
+type clientQuota struct {
+	limit int64 // per-client in-flight activation budget
+
+	mu   sync.Mutex
+	used map[string]int64
+}
+
+func newClientQuota(limit int64) *clientQuota {
+	if limit <= 0 {
+		return nil
+	}
+	return &clientQuota{limit: limit, used: make(map[string]int64)}
+}
+
+// cost maps a run's declared activation budget to its quota charge:
+// the budget itself, clamped to the full quota for unlimited (0) or
+// over-quota declarations.
+func (q *clientQuota) cost(maxActivations int64) int64 {
+	if maxActivations <= 0 || maxActivations > q.limit {
+		return q.limit
+	}
+	return maxActivations
+}
+
+// charge reserves cost against the client's quota; false means the
+// client is over budget and the admission must be rejected.
+func (q *clientQuota) charge(client string, cost int64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used[client]+cost > q.limit {
+		return false
+	}
+	q.used[client] += cost
+	return true
+}
+
+// release returns a previous charge.
+func (q *clientQuota) release(client string, cost int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if u := q.used[client] - cost; u > 0 {
+		q.used[client] = u
+	} else {
+		delete(q.used, client)
+	}
+}

@@ -21,8 +21,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 
 	"dramscope/internal/expt"
@@ -51,6 +54,18 @@ type Config struct {
 	Store *store.Store
 	// Factory builds suites; nil means expt.DefaultSuite.
 	Factory SuiteFactory
+	// QueueSize caps how many admitted executions may wait for worker
+	// tokens before new work is rejected with 429; 0 means the default
+	// (64), negative means no waiting room (admissions past the worker
+	// pool reject immediately). Cache hits and coalesced followers
+	// never occupy the queue.
+	QueueSize int
+	// ClientQuota, when > 0, caps each client's in-flight declared
+	// activation budget (sum of MaxActivations over its executing
+	// runs; an unlimited run charges the full quota). Clients are
+	// keyed by Authorization/X-API-Key header, falling back to remote
+	// address. 0 disables quotas.
+	ClientQuota int64
 }
 
 // Server is the HTTP front-end. It implements http.Handler.
@@ -70,6 +85,12 @@ func New(cfg Config) *Server {
 	if cfg.Retain != 0 {
 		mgr.retain = cfg.Retain
 	}
+	if cfg.QueueSize > 0 {
+		mgr.maxQueue = cfg.QueueSize
+	} else if cfg.QueueSize < 0 {
+		mgr.maxQueue = 0
+	}
+	mgr.quota = newClientQuota(cfg.ClientQuota)
 	mgr.artifacts = cfg.Store
 	s := &Server{
 		mgr:     mgr,
@@ -77,6 +98,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /profiles", s.handleProfiles)
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /runs", s.handleCreateRun)
@@ -96,6 +118,85 @@ func New(cfg Config) *Server {
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server's manager for process exit: new
+// admissions answer 503, running runs and campaigns are canceled, and
+// the call blocks until every background goroutine has returned or ctx
+// expires. Call it before http.Server.Shutdown so in-flight streams
+// observe their runs' terminal events and close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.mgr.Shutdown(ctx)
+}
+
+// maxRequestBody caps POST bodies. The largest legitimate request — a
+// campaign with hundreds of explicit specs — is a few hundred KiB;
+// 1 MiB leaves headroom while keeping one hostile POST from growing
+// the decoder's buffer without bound.
+const maxRequestBody = 1 << 20
+
+// decodeBody strictly decodes a JSON request body into v, bounded by
+// maxRequestBody. It writes the error response itself (413 for an
+// oversized body, 400 otherwise) and reports whether decoding
+// succeeded. An absent/empty body decodes as the zero request.
+func decodeBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Body == nil || r.ContentLength == 0 {
+		return true
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// clientKey identifies the requester for quota accounting: an
+// Authorization or X-API-Key header when present (so a fleet of
+// workers behind one NAT are distinct clients), else the remote host.
+func clientKey(r *http.Request) string {
+	if v := r.Header.Get("Authorization"); v != "" {
+		return v
+	}
+	if v := r.Header.Get("X-API-Key"); v != "" {
+		return v
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// writeAdmissionError maps a typed admission failure onto the HTTP
+// surface: backpressure (queue full, quota exhausted) is 429 with
+// Retry-After, draining is 503, anything else is a 400 validation
+// error.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuotaExceeded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// handleMetrics serves the server's operational counters as plain JSON
+// (see Metrics for the schema and docs/api.md for the field
+// reference).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Metrics())
 }
 
 // writeJSON writes v as an indented JSON body with the given status.
@@ -156,20 +257,16 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCreateRun admits a run: 202 Accepted for a freshly started
-// one, 200 OK when served from the result cache.
+// (or coalesced) one, 200 OK when served from the result cache, 429
+// with Retry-After under backpressure, 503 while draining.
 func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
-	if r.Body != nil && r.ContentLength != 0 {
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
-		}
+	if !decodeBody(w, r, &req) {
+		return
 	}
-	run, err := s.mgr.Start(req)
+	run, err := s.mgr.Start(req, clientKey(r))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAdmissionError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/runs/"+run.id)
@@ -248,17 +345,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // aggregates asynchronously.
 func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	var req CampaignRequest
-	if r.Body != nil && r.ContentLength != 0 {
-		dec := json.NewDecoder(r.Body)
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-			return
-		}
+	if !decodeBody(w, r, &req) {
+		return
 	}
-	c, err := s.mgr.StartCampaign(req)
+	c, err := s.mgr.StartCampaign(req, clientKey(r))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeAdmissionError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/campaigns/"+c.id)
