@@ -22,6 +22,9 @@
 #                  change (review the diff!)
 #   make campaign - run the golden campaign population from the CLI
 #                  (3 vendors x 2 seeds, per-device recovery)
+#   make fleet   - federation tests: fault injection, placement
+#                  invariance, and the golden campaign byte-diffed
+#                  over 1/2/4 worker nodes
 #   make clean-store - delete the local probe-artifact store
 #                  (STORE_DIR, default ./dramscope-store); do this after
 #                  changing probe code without bumping ProbeSchemaVersion
@@ -37,7 +40,7 @@ SUITE_FLAGS ?= -run all
 SERVE_FLAGS ?=
 STORE_DIR ?= dramscope-store
 
-.PHONY: build test race short bench bench-snapshot bench-check load suite serve vet golden campaign clean-store
+.PHONY: build test race short bench bench-snapshot bench-check load suite serve vet golden campaign fleet clean-store
 
 # The golden campaign population (mirrored by expt.GoldenCampaign and
 # asserted by TestGoldenCampaignReport): one representative device per
@@ -91,6 +94,14 @@ serve:
 golden:
 	$(GO) run ./cmd/experiments -run all -json internal/expt/testdata/suite_report.json > /dev/null
 	$(GO) run ./cmd/experiments $(GOLDEN_CAMPAIGN) -json internal/expt/testdata/campaign_report.json > /dev/null
+
+# The federation gate: fault-injection and placement-invariance tests
+# under the race detector, then the golden campaign federated over
+# 1/2/4 in-process worker nodes and byte-diffed against the fixture.
+fleet:
+	$(GO) test -race -count=1 -run 'Federated|RetryAfter' -timeout 20m ./internal/serve/
+	$(GO) test -race -count=1 ./internal/serve/dispatch/
+	$(GO) test -count=1 -run 'TestFederatedCampaignBytes' -timeout 20m ./internal/serve/
 
 # CAMPAIGN_FLAGS appends extras, e.g.
 #   make campaign CAMPAIGN_FLAGS='-store dramscope-store -progress'

@@ -17,6 +17,7 @@
 //	dramscoped -addr 127.0.0.1:8077 -budget 8 -cache 128
 //	dramscoped -addr :8077 -store dramscope-store
 //	dramscoped -addr :8077 -store dramscope-store -store-readonly
+//	dramscoped -addr :8077 -store fleet-store -workers http://node1:8077,http://node2:8077
 //
 // -budget bounds the worker tokens shared by all concurrent runs and
 // campaigns; -cache sizes the LRU result cache (entries; determinism
@@ -28,6 +29,16 @@
 // (cmd/dramscope shares the directory and key scheme too; its entries
 // are reused when the keys genuinely match — see the README's store
 // section). -store-readonly serves hits without ever writing.
+//
+// -workers turns the instance into a federation coordinator: campaign
+// members and solo runs are dispatched to the listed worker dramscoped
+// nodes over the same HTTP API, with faulted members retried on other
+// nodes (or locally as a fallback) and every accepted report verified
+// against the member's canonical digest — so a federated campaign is
+// byte-identical to a single-process run for any node count, placement
+// or failure pattern. Workers should share the coordinator's -store
+// directory. -member-timeout bounds one dispatched member before it is
+// stolen to another node. See docs/api.md, "Federated campaigns".
 package main
 
 import (
@@ -52,6 +63,8 @@ func main() {
 	retain := flag.Int("retain", 0, "finished runs kept queryable before the oldest are evicted (0 = default 256)")
 	queue := flag.Int("queue", 0, "admitted executions allowed to wait for workers before POSTs answer 429 (0 = default 64, negative = none)")
 	clientQuota := flag.Int64("client-quota", 0, "per-client in-flight activation-budget quota; 0 disables (see docs/api.md)")
+	workers := flag.String("workers", "", "comma-separated worker dramscoped base URLs; makes this instance a federation coordinator")
+	memberTimeout := flag.Duration("member-timeout", 0, "per-member remote execution bound before the member is re-dispatched (0 = none)")
 	storeFlags := cli.BindStoreFlags(flag.CommandLine)
 	pprofFlags := cli.BindPprofFlags(flag.CommandLine)
 	flag.Parse()
@@ -60,7 +73,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dramscoped:", err)
 		os.Exit(1)
 	}
-	err := run(*addr, *budget, *cacheSize, *retain, *queue, *clientQuota, storeFlags)
+	err := run(*addr, *budget, *cacheSize, *retain, *queue, *clientQuota, *workers, *memberTimeout, storeFlags)
 	// Flush profiles before exiting either way: the profile of a
 	// crashed server is the interesting one.
 	if perr := pprofFlags.Stop(); err == nil {
@@ -72,18 +85,21 @@ func main() {
 	}
 }
 
-func run(addr string, budget, cacheSize, retain, queue int, clientQuota int64, storeFlags *cli.StoreFlags) error {
+func run(addr string, budget, cacheSize, retain, queue int, clientQuota int64,
+	workers string, memberTimeout time.Duration, storeFlags *cli.StoreFlags) error {
 	st, err := storeFlags.Open()
 	if err != nil {
 		return err
 	}
 	handler := serve.New(serve.Config{
-		Budget:      budget,
-		CacheSize:   cacheSize,
-		Retain:      retain,
-		QueueSize:   queue,
-		ClientQuota: clientQuota,
-		Store:       st,
+		Budget:        budget,
+		CacheSize:     cacheSize,
+		Retain:        retain,
+		QueueSize:     queue,
+		ClientQuota:   clientQuota,
+		Store:         st,
+		Workers:       cli.SplitList(workers),
+		MemberTimeout: memberTimeout,
 	})
 	srv := &http.Server{
 		Addr:    addr,

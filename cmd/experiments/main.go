@@ -14,6 +14,7 @@
 //	experiments -run all -store dramscope-store   # warm runs skip the probe chain
 //	experiments -run recover -max-activations 2000000
 //	experiments -campaign 'MfrA-*' -seeds 5,7 -run recover -store dramscope-store
+//	experiments -campaign all -run recover -workers http://node1:8077,http://node2:8077
 //	experiments -progress
 //	experiments -list
 //
@@ -57,6 +58,7 @@ import (
 	"dramscope/internal/cli"
 	"dramscope/internal/expt"
 	"dramscope/internal/host"
+	"dramscope/internal/serve"
 	"dramscope/internal/store"
 )
 
@@ -69,6 +71,7 @@ func main() {
 	maxActs := flag.Int64("max-activations", 0, "activation budget: fail the run once metered ACT commands cross the cap (0 = unlimited)")
 	campaign := flag.String("campaign", "", "campaign mode: comma-separated profile globs over the catalog (or 'all'); crossed with -seeds")
 	seeds := flag.String("seeds", "", "comma-separated seed list for -campaign (default: the -seed value)")
+	workers := flag.String("workers", "", "comma-separated worker dramscoped base URLs: federate -campaign members across them (reports stay byte-identical)")
 	runsDir := flag.String("campaign-runs", "", "directory for per-run campaign reports, one <digest>.json each (optional)")
 	jsonPath := flag.String("json", "", "file for the machine-readable JSON report (optional)")
 	csvDir := flag.String("csv", "", "directory for CSV result files (optional)")
@@ -102,6 +105,7 @@ func main() {
 		runList:  *runList,
 		campaign: *campaign,
 		seeds:    *seeds,
+		workers:  *workers,
 		runsDir:  *runsDir,
 		jsonPath: *jsonPath,
 		csvDir:   *csvDir,
@@ -129,6 +133,7 @@ type runConfig struct {
 	runList  string
 	campaign string
 	seeds    string
+	workers  string
 	runsDir  string
 	jsonPath string
 	csvDir   string
@@ -250,6 +255,11 @@ func runCampaign(ctx context.Context, cfg runConfig, st *store.Store) error {
 	var mu sync.Mutex
 	var probeCost host.Counters
 	var writeErr error
+	// -workers: federate members across a worker fleet through the
+	// same dispatcher dramscoped's coordinator mode uses. Members no
+	// worker can take decline back to the local pool, so a dead fleet
+	// degrades to a plain local campaign.
+	var fed *serve.Federator
 	opt := expt.CampaignOptions{
 		Jobs:    cfg.spec.Jobs,
 		Store:   st,
@@ -265,6 +275,8 @@ func runCampaign(ctx context.Context, cfg runConfig, st *store.Store) error {
 					state = res.Err.Error()
 				case res.Cached:
 					state = "cached"
+				case res.Remote:
+					state = "remote"
 				}
 				fmt.Fprintf(os.Stderr, "[%d/%d] %s seed %d: %s (%s)\n", index+1, total,
 					res.Spec.Profile, res.Spec.Seed, state, res.Elapsed.Round(time.Millisecond))
@@ -279,12 +291,21 @@ func runCampaign(ctx context.Context, cfg runConfig, st *store.Store) error {
 			}
 		},
 	}
+	if urls := cli.SplitList(cfg.workers); len(urls) > 0 {
+		fed = serve.NewFederator(serve.FederationOptions{Workers: urls})
+		opt.Place = fed.Place
+	}
 	rep, err := c.Run(opt)
 	if err != nil {
 		return err
 	}
 	if cfg.progress {
 		printProbeCost(probeCost)
+		if fed != nil {
+			fs := fed.Snapshot()
+			fmt.Fprintf(os.Stderr, "federation: %d dispatched, %d retried, %d stolen, %d local fallback\n",
+				fs.Dispatched, fs.Retried, fs.Stolen, fs.FallbackLocal)
+		}
 	}
 	fmt.Print(rep.Text())
 	if cfg.jsonPath != "" {

@@ -16,13 +16,18 @@
 // Usage:
 //
 //	go run ./examples/loadgen -selfhost -out BENCH_serve.json
+//	go run ./examples/loadgen -selfhost -fleet 3 -duration 10s
 //	dramscoped -addr :8077 &
 //	go run ./examples/loadgen -addr http://127.0.0.1:8077 -duration 10s
 //
 // -selfhost boots an in-process server (no network flakiness, the mode
 // `make bench-snapshot` uses); -addr points at a running dramscoped.
-// -max-5xx and -min-coalesced turn the report into a CI gate: exit
-// nonzero when the server errored or never coalesced.
+// -fleet N (selfhost only) boots N additional in-process worker nodes
+// and drives the self-hosted server as a federation coordinator, so
+// the same workload exercises the dispatcher; the coordinator's
+// federation counters are printed alongside the snapshot. -max-5xx and
+// -min-coalesced turn the report into a CI gate: exit nonzero when the
+// server errored or never coalesced.
 package main
 
 import (
@@ -93,6 +98,7 @@ type tally struct {
 func main() {
 	addr := flag.String("addr", "", "base URL of a running dramscoped (e.g. http://127.0.0.1:8077)")
 	selfhost := flag.Bool("selfhost", false, "boot an in-process server instead of targeting -addr")
+	fleet := flag.Int("fleet", 0, "selfhost only: boot this many in-process worker nodes and federate through them")
 	duration := flag.Duration("duration", 5*time.Second, "mixed-phase wall time")
 	clients := flag.Int("clients", 16, "concurrent client goroutines")
 	hot := flag.Float64("hot", 0.7, "fraction of mixed-phase requests using the shared hot spec")
@@ -105,17 +111,26 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	flag.Parse()
 
-	if err := run(*addr, *selfhost, *duration, *clients, *hot, *coldSeeds,
+	if err := run(*addr, *selfhost, *fleet, *duration, *clients, *hot, *coldSeeds,
 		*selection, *burstRun, *out, *max5xx, *minCoalesced, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, selfhost bool, duration time.Duration, clients int, hot float64,
+func run(addr string, selfhost bool, fleet int, duration time.Duration, clients int, hot float64,
 	coldSeeds int, selection, burstRun, out string, max5xx, minCoalesced int, seed int64) error {
+	if fleet > 0 && !selfhost {
+		return fmt.Errorf("-fleet needs -selfhost (worker nodes are booted in-process)")
+	}
 	if selfhost {
-		ts := httptest.NewServer(serve.New(serve.Config{}))
+		var cfg serve.Config
+		for i := 0; i < fleet; i++ {
+			wts := httptest.NewServer(serve.New(serve.Config{}))
+			defer wts.Close()
+			cfg.Workers = append(cfg.Workers, wts.URL)
+		}
+		ts := httptest.NewServer(serve.New(cfg))
 		defer ts.Close()
 		addr = ts.URL
 	}
@@ -207,6 +222,27 @@ func run(addr string, selfhost bool, duration time.Duration, clients int, hot fl
 		fmt.Printf("loadgen: %d requests, %.0f%% coalesce+cache, p50 %.1fms p95 %.1fms p99 %.1fms, %d rejected, %d 5xx -> %s\n",
 			sb.Requests, 100*float64(sb.Cached+sb.Coalesced)/float64(max(sb.Requests, 1)),
 			sb.P50Ms, sb.P95Ms, sb.P99Ms, sb.Rejected429, sb.Errors5xx, out)
+	}
+
+	if fleet > 0 {
+		// The coordinator's dispatcher scoreboard, read back through
+		// the public /metrics surface like any operator would.
+		mresp, err := client.Get(addr + "/metrics")
+		if err != nil {
+			return fmt.Errorf("GET /metrics: %w", err)
+		}
+		var m serve.Metrics
+		merr := json.NewDecoder(mresp.Body).Decode(&m)
+		mresp.Body.Close()
+		if merr != nil {
+			return fmt.Errorf("decode /metrics: %w", merr)
+		}
+		if m.Federation == nil {
+			return fmt.Errorf("coordinator /metrics has no federation section")
+		}
+		f := m.Federation
+		fmt.Printf("loadgen fleet: %d workers (%d healthy), %d dispatched, %d remote done, %d remote failed, %d retried, %d stolen, %d local fallback\n",
+			f.Workers, f.Healthy, f.Dispatched, f.RemoteDone, f.RemoteFailed, f.Retried, f.Stolen, f.FallbackLocal)
 	}
 
 	if max5xx >= 0 && sb.Errors5xx > max5xx {

@@ -47,13 +47,14 @@ func main() {
 	jobs := flag.Int("jobs", 0, "requested worker count (server clamps to its budget)")
 	campaign := flag.String("campaign", "", "campaign mode: profile globs over the catalog, POSTed to /campaigns")
 	seeds := flag.String("seeds", "", "comma-separated seed list for -campaign (default: the -seed value)")
+	campaignOut := flag.String("campaign-out", "", "write the campaign aggregate report bytes to this file (CI's byte-diff gate)")
 	verify := flag.Bool("verify", true, "re-run the suite locally and byte-compare the reports")
 	wantCached := flag.Bool("want-cached", false, "fail unless the server answers from its result cache (CI's cache regression gate)")
 	flag.Parse()
 
 	var err error
 	if *campaign != "" {
-		err = runCampaign(*addr, *campaign, *seeds, *runList, *seed, *verify)
+		err = runCampaign(*addr, *campaign, *seeds, *runList, *seed, *verify, *campaignOut)
 	} else {
 		err = run(*addr, *runList, *profile, *seed, *jobs, *verify, *wantCached)
 	}
@@ -204,7 +205,7 @@ type campaignStreamEvent struct {
 // runCampaign drives the population surface: create a campaign, stream
 // per-run completions, fetch the aggregate, and byte-diff one served
 // member report against an in-process solo run of the same spec.
-func runCampaign(addr, globs, seedList, runList string, baseSeed uint64, verify bool) error {
+func runCampaign(addr, globs, seedList, runList string, baseSeed uint64, verify bool, outFile string) error {
 	only, err := selection(runList)
 	if err != nil {
 		return err
@@ -298,6 +299,14 @@ func runCampaign(addr, globs, seedList, runList string, baseSeed uint64, verify 
 		return fmt.Errorf("GET /campaigns/%s/report: %s: %s", st.ID, aggResp.Status, bytes.TrimSpace(agg))
 	}
 	fmt.Printf("campaign aggregate report: %d bytes\n", len(agg))
+	if outFile != "" {
+		// The exact served bytes, so CI can cmp them against the
+		// committed fixture — byte identity is the whole point.
+		if err := os.WriteFile(outFile, agg, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("campaign aggregate written to %s\n", outFile)
+	}
 
 	if !verify || first == nil {
 		return nil

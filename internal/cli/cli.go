@@ -84,6 +84,18 @@ func Selection(list string) ([]string, error) {
 	return only, nil
 }
 
+// SplitList parses a plain comma-separated list (-workers style):
+// entries trimmed, empties dropped, nil for an empty list.
+func SplitList(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Seeds parses a -seeds style comma-separated uint64 list. An empty
 // list falls back to the single fallback seed, so `-campaign` without
 // `-seeds` sweeps the profiles at the base -seed.

@@ -61,6 +61,30 @@ type CampaignOptions struct {
 	// metadata: the campaign report stays byte-identical with or
 	// without a callback, cold or warm.
 	OnRun func(index, total int, res *CampaignRunResult)
+	// Place, when non-nil, offers each member to an external executor
+	// (a federated worker fleet) after store memoization but before
+	// the member takes a local worker token. A returned Placement is
+	// the member's result; a nil Placement declines the member back to
+	// the local pool. Because the placement contract requires the
+	// returned report to be byte-identical to a solo run of the spec,
+	// Place can change where a member runs but never a byte of the
+	// aggregate.
+	Place PlaceFunc
+}
+
+// PlaceFunc offers one campaign member to an external executor.
+// Returning (nil, err) declines the member — it runs locally and err
+// is advisory context for the decline, never a member failure.
+type PlaceFunc func(ctx context.Context, index int, rs *ResolvedSpec) (*Placement, error)
+
+// Placement is an externally executed member: its report bytes —
+// byte-identical to a solo run of the spec, which is the contract
+// dramscoped workers enforce by digest verification — and the
+// run-level failure embedded in them, if any (mirroring
+// CampaignRunResult.Err for a failed member).
+type Placement struct {
+	Report []byte
+	Err    error
 }
 
 // CampaignRunResult is one spec's outcome, delivered through
@@ -82,6 +106,10 @@ type CampaignRunResult struct {
 	// Cached reports the run was served from the store without
 	// executing. Out-of-band: never in the campaign report.
 	Cached bool
+	// Remote reports the run was executed through
+	// CampaignOptions.Place instead of the local pool. Out-of-band:
+	// never in the campaign report.
+	Remote bool
 	// Elapsed is the run's wall time. Out-of-band.
 	Elapsed time.Duration
 	// ProbeCost is the run's probe-chain command bill (zero for cached
@@ -150,6 +178,22 @@ func (c *Campaign) Run(opt CampaignOptions) (*CampaignReport, error) {
 				if data, ok := opt.Store.LoadReport(key); ok && storedReportMatches(data, resolved[i].Names) {
 					res.Report = data
 					res.Cached = true
+					return
+				}
+			}
+			// Placement hook: offer the member to the external
+			// executor. A decline (nil placement) falls through to the
+			// local pool; an accepted placement is the run, written
+			// through to the store like a local completion so the next
+			// campaign memoizes it.
+			if opt.Place != nil && ctx.Err() == nil {
+				if p, _ := opt.Place(ctx, i, resolved[i]); p != nil {
+					res.Report = p.Report
+					res.Err = p.Err
+					res.Remote = true
+					if opt.Store != nil && p.Err == nil {
+						_ = opt.Store.SaveReport(store.ReportKey{Spec: resolved[i].Canonical()}, p.Report)
+					}
 					return
 				}
 			}

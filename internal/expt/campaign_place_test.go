@@ -1,0 +1,135 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// soloSpecReport runs one spec through a fresh small suite — the bytes
+// an external placement (a federated worker) would hand back.
+func soloSpecReport(t *testing.T, spec RunSpec) []byte {
+	t.Helper()
+	suite := smallSuite(t, spec.Seed, nil)
+	rep, err := suite.Run(Options{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCampaignPlaceHook: a Place hook that accepts some members (with
+// externally produced solo bytes) and declines the rest changes
+// nothing about the campaign's bytes — placed members are marked
+// Remote, declined ones execute locally, and the aggregate is
+// byte-identical to the unplaced run.
+func TestCampaignPlaceHook(t *testing.T) {
+	t.Parallel()
+	ref, _ := runCampaign(t, 2, CampaignOptions{})
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	placed := soloSpecReport(t, campaignSpecs()[1])
+	rep, results := runCampaign(t, 2, CampaignOptions{
+		Place: func(ctx context.Context, index int, rs *ResolvedSpec) (*Placement, error) {
+			if index != 1 {
+				return nil, nil // decline back to the local pool
+			}
+			return &Placement{Report: placed}, nil
+		},
+	})
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, refJSON) {
+		t.Fatalf("placed aggregate differs from the local run:\nplaced: %s\nlocal:  %s", got, refJSON)
+	}
+	for i, res := range results {
+		if want := i == 1; res.Remote != want {
+			t.Errorf("member %d Remote = %v, want %v", i, res.Remote, want)
+		}
+	}
+	if !bytes.Equal(results[1].Report, placed) {
+		t.Error("placed member's result does not carry the placement bytes")
+	}
+}
+
+// TestCampaignPlaceWriteThrough: an accepted placement writes through
+// to the campaign store exactly like a local execution, so a warm
+// rerun is all store hits with the identical aggregate.
+func TestCampaignPlaceWriteThrough(t *testing.T) {
+	t.Parallel()
+	st := openStore(t)
+	specs := campaignSpecs()
+	cold, coldResults := runCampaign(t, 2, CampaignOptions{
+		Store: st,
+		Place: func(ctx context.Context, index int, rs *ResolvedSpec) (*Placement, error) {
+			return &Placement{Report: soloSpecReport(t, specs[index])}, nil
+		},
+	})
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range coldResults {
+		if !res.Remote {
+			t.Errorf("cold member %d was not placed", i)
+		}
+	}
+
+	warm, warmResults := runCampaign(t, 2, CampaignOptions{
+		Store: st,
+		Place: func(ctx context.Context, index int, rs *ResolvedSpec) (*Placement, error) {
+			t.Errorf("warm member %d reached the Place hook instead of the store", index)
+			return nil, nil
+		},
+	})
+	for i, res := range warmResults {
+		if !res.Cached {
+			t.Errorf("warm member %d missed the store", i)
+		}
+	}
+	warmJSON, err := warm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warmJSON, coldJSON) {
+		t.Fatal("warm aggregate differs from the placed cold run")
+	}
+}
+
+// TestCampaignPlaceError: a placement that resolves with an error and
+// no report is a run-level member failure, not a reason to re-execute
+// locally — it surfaces in the summaries like a local failure would,
+// without dropping the member from the aggregate.
+func TestCampaignPlaceError(t *testing.T) {
+	t.Parallel()
+	specs := campaignSpecs()
+	c := &Campaign{Specs: specs}
+	rep, err := c.Run(CampaignOptions{
+		Factory: smallFactory(t),
+		Place: func(ctx context.Context, index int, rs *ResolvedSpec) (*Placement, error) {
+			if index == 0 {
+				return &Placement{Err: errors.New("member failed on its worker")}, nil
+			}
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err() == nil {
+		t.Fatal("campaign with a failed placed member reports no error")
+	}
+	if len(rep.Runs) != len(specs) {
+		t.Fatalf("aggregate covers %d members, want %d — failures must not drop members", len(rep.Runs), len(specs))
+	}
+}

@@ -1,0 +1,233 @@
+// Package dispatch is the coordinator's view of one worker dramscoped
+// node: a thin HTTP client for the run half of the API documented in
+// docs/api.md. The serve.Federator uses it to place campaign members
+// (and solo runs) on worker nodes — start a run, poll it to a terminal
+// state, fetch the report bytes verbatim, cancel, and read the
+// worker's admission capacity from /metrics. It deliberately owns its
+// own copies of the few wire fields it reads instead of importing
+// package serve, so the client stays import-cycle-free and the
+// coordinator can only ever depend on the documented wire contract,
+// never on server internals.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Request mirrors the POST /runs body (serve.RunRequest). The zero
+// request runs the worker's full default suite.
+type Request struct {
+	Profile        string   `json:"profile,omitempty"`
+	Seed           *uint64  `json:"seed,omitempty"`
+	Only           []string `json:"only,omitempty"`
+	Jobs           int      `json:"jobs,omitempty"`
+	Shards         int      `json:"shards,omitempty"`
+	MaxActivations int64    `json:"maxActivations,omitempty"`
+}
+
+// Status is the subset of the run-status schema the dispatcher reads:
+// identity, terminal state, and the canonical-spec digest the
+// coordinator verifies before trusting a single report byte.
+type Status struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Digest    string `json:"digest"`
+	Cached    bool   `json:"cached"`
+	Error     string `json:"error"`
+	ErrorKind string `json:"errorKind"`
+}
+
+// Run states, in the wire protocol's vocabulary (serve.State*).
+const (
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// HTTPError is a non-2xx worker response. RetryAfter carries the
+// parsed Retry-After hint on 429s (zero when absent).
+type HTTPError struct {
+	Code       int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("dispatch: worker answered %d: %s", e.Code, e.Msg)
+}
+
+// maxErrorBody bounds how much of an error response body is read for
+// the message: a broken worker must not make the coordinator buffer an
+// arbitrarily large body.
+const maxErrorBody = 4 << 10
+
+// maxReportBody bounds a fetched report. The full golden suite report
+// is well under 1 MiB; 64 MiB is far past any legitimate report while
+// still refusing to stream a runaway response into memory forever.
+const maxReportBody = 64 << 20
+
+// Client talks to one worker node.
+type Client struct {
+	// Base is the worker's base URL, e.g. "http://node1:8077".
+	Base string
+	// HTTP overrides the transport; nil uses a shared default client
+	// with a bounded per-request timeout (streams are never used here,
+	// so a hung worker surfaces as an error instead of a stuck poll).
+	HTTP *http.Client
+}
+
+var defaultClient = &http.Client{Timeout: 60 * time.Second}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return defaultClient
+}
+
+// do round-trips one JSON request. Non-2xx responses come back as
+// *HTTPError with the body's error message; 2xx bodies decode into out
+// when non-nil.
+func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return newHTTPError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxErrorBody))
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func newHTTPError(resp *http.Response) *HTTPError {
+	he := &HTTPError{Code: resp.StatusCode}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		he.RetryAfter = time.Duration(secs) * time.Second
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		he.Msg = body.Error
+	} else {
+		he.Msg = http.StatusText(resp.StatusCode)
+	}
+	return he
+}
+
+// Start admits one run on the worker. A 200 response is a cache or
+// store hit and the returned status is already terminal; 202 means the
+// run executes and must be polled with Wait.
+func (c *Client) Start(ctx context.Context, req Request) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodPost, "/runs", req, &st)
+	return st, err
+}
+
+// Status fetches one run's current state.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/runs/"+id, nil, &st)
+	return st, err
+}
+
+// Wait polls a run every poll interval until it reaches a terminal
+// state or ctx expires. Any transport or HTTP error fails the wait
+// immediately: the coordinator treats it as a worker fault and
+// re-dispatches, and the shared store keeps the retry from recomputing
+// whatever the faulted worker still finishes.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Status, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State != StateRunning {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Report fetches a finished run's report bytes verbatim — the payload
+// the byte-identity contract is about, so it is never re-encoded here.
+func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/runs/"+id+"/report", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, newHTTPError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxReportBody))
+}
+
+// Cancel cancels a run on the worker (DELETE /runs/{id}), best effort.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/runs/"+id, nil, nil)
+}
+
+// Healthy checks the worker's /healthz endpoint.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Capacity reads the worker's admission capacity — worker-pool size
+// plus queue slots — from /metrics. That is exactly how many admitted
+// executions the worker holds before answering 429, so the dispatcher
+// uses it as the node's placement weight.
+func (c *Client) Capacity(ctx context.Context) (int, error) {
+	var m struct {
+		Queue struct {
+			Capacity int `json:"capacity"`
+			Workers  int `json:"workers"`
+		} `json:"queue"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+		return 0, err
+	}
+	return m.Queue.Capacity + m.Queue.Workers, nil
+}

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dramscope/internal/expt"
+	"dramscope/internal/serve/dispatch"
+)
+
+// This file is the coordinator half of federated campaigns: when the
+// server is configured with worker node URLs (-workers), every
+// admitted execution — campaign member or solo run alike — is handed
+// to the Federator, which places it on a worker over the HTTP API
+// (internal/serve/dispatch), tracks per-node health and free capacity,
+// retries faulted members on other nodes, steals members that outlive
+// the member timeout, and falls back to a local execution when no
+// worker can take the member.
+//
+// The byte-identity contract — a federated campaign aggregate and
+// every per-member report are identical to the single-process run for
+// any node count, placement, failure pattern, and retry schedule — is
+// enforced by construction, not by hope:
+//
+//   - a member is dispatched as its spec, and the worker's resolved
+//     canonical digest must equal the coordinator's before any report
+//     byte is trusted (a worker with a diverging catalog or suite is a
+//     fault, not a different answer);
+//   - the report bytes come back verbatim and are validated against
+//     the member's resolved selection (linesFromReport) before the
+//     run completes with them;
+//   - the aggregate is only ever assembled by expt.AggregateCampaign
+//     in spec order, the same pure function the solo path uses;
+//   - re-dispatch after a fault re-runs a deterministic spec, and the
+//     shared persistent store plus spec-digest coalescing make the
+//     retry a cache hit whenever the faulted worker managed to finish.
+
+// FederationOptions configures a Federator.
+type FederationOptions struct {
+	// Workers are the worker nodes' base URLs.
+	Workers []string
+	// MemberTimeout bounds one dispatched member's remote execution;
+	// on expiry the member is canceled on its worker and re-dispatched
+	// elsewhere ("stolen"). 0 disables the timeout.
+	MemberTimeout time.Duration
+	// Poll is the remote-run polling interval (default 100ms).
+	Poll time.Duration
+	// Cooldown is how long a faulted worker sits out of placement
+	// before being offered members again (default 5s).
+	Cooldown time.Duration
+	// Client overrides the HTTP transport shared by all worker
+	// clients; nil uses the dispatch package default.
+	Client *http.Client
+}
+
+// fedWorker is one worker node's dispatcher-side state.
+type fedWorker struct {
+	url    string
+	client *dispatch.Client
+
+	// The placement state below is guarded by Federator.mu.
+	inflight  int       // members currently dispatched to this node
+	capacity  int       // admission capacity from /metrics; 0 = unprobed
+	downUntil time.Time // faulted: out of placement until this instant
+}
+
+// Federator shards admitted executions across worker nodes.
+type Federator struct {
+	opts FederationOptions
+
+	// leaveOnCancel decides what a canceled dispatch does with its
+	// remote run: false cancels it on the worker too (a client DELETE
+	// should stop the fleet-side work), true abandons it (coordinator
+	// shutdown: the worker finishes on its own and persists the report
+	// into the shared store for the restarted coordinator to re-attach
+	// to). Wired to Manager draining by New.
+	leaveOnCancel func() bool
+
+	// pick chooses among eligible workers — by default the one with
+	// the most free capacity (ties to the earliest configured). Tests
+	// override it for forced and seeded-random placements. Called with
+	// mu held and a non-empty eligible slice.
+	pick func(eligible []*fedWorker) *fedWorker
+
+	dispatched    atomic.Int64 // placement attempts (every member-to-worker offer)
+	remoteDone    atomic.Int64 // members finished clean on a worker
+	remoteFailed  atomic.Int64 // members finished failed (deterministically) on a worker
+	retried       atomic.Int64 // re-dispatches after a worker fault
+	stolen        atomic.Int64 // re-dispatches after a member timeout
+	fallbackLocal atomic.Int64 // members no worker could take, run locally
+
+	mu      sync.Mutex
+	workers []*fedWorker
+}
+
+// errNoWorkers: every worker is down, at capacity, or already faulted
+// on this member — the caller runs the member locally.
+var errNoWorkers = errors.New("serve: no federated worker available")
+
+// NewFederator builds a dispatcher over the given worker base URLs.
+func NewFederator(opts FederationOptions) *Federator {
+	if opts.Poll <= 0 {
+		opts.Poll = 100 * time.Millisecond
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = 5 * time.Second
+	}
+	f := &Federator{
+		opts:          opts,
+		leaveOnCancel: func() bool { return false },
+		pick:          pickMostFree,
+	}
+	for _, raw := range opts.Workers {
+		url := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if url == "" {
+			continue
+		}
+		f.workers = append(f.workers, &fedWorker{
+			url:    url,
+			client: &dispatch.Client{Base: url, HTTP: opts.Client},
+		})
+	}
+	return f
+}
+
+// pickMostFree is the default placement: the worker with the most free
+// admission capacity, ties resolved to the earliest configured node.
+func pickMostFree(eligible []*fedWorker) *fedWorker {
+	best := eligible[0]
+	bestFree := best.capacity - best.inflight
+	for _, w := range eligible[1:] {
+		if free := w.capacity - w.inflight; free > bestFree {
+			best, bestFree = w, free
+		}
+	}
+	return best
+}
+
+// remoteResult is a validated remote completion: the worker's terminal
+// state, its report bytes verbatim, and the stream lines rebuilt from
+// them (absent wall-time metadata, like any replayed report).
+type remoteResult struct {
+	state   string
+	report  []byte
+	lines   [][]byte
+	errMsg  string
+	errKind string
+}
+
+// fedVerdict classifies one placement attempt.
+type fedVerdict int
+
+const (
+	fedOK       fedVerdict = iota // terminal and validated — use the result
+	fedBusy                       // worker at capacity (429): try another node
+	fedFault                      // transport/server error, protocol or digest mismatch, worker-side kill
+	fedTimeout                    // member timeout expired: steal the member
+	fedCanceled                   // the coordinator's own context was canceled
+)
+
+// Execute places one resolved spec on the fleet, retrying faulted and
+// timed-out attempts on other nodes, until a worker returns a
+// validated terminal result. errNoWorkers means every node is down,
+// busy, or already faulted on this member — the caller falls back to a
+// local execution. A member that *failed deterministically* on a
+// worker (a report with embedded experiment errors) is a result, not a
+// fault: by the determinism contract it fails identically everywhere,
+// so it is never retried.
+func (f *Federator) Execute(ctx context.Context, rs *expt.ResolvedSpec) (*remoteResult, error) {
+	tried := make(map[string]bool)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		w := f.pickWorker(ctx, tried)
+		if w == nil {
+			return nil, errNoWorkers
+		}
+		f.dispatched.Add(1)
+		res, verdict := f.runOn(ctx, w, rs)
+		f.done(w)
+		switch verdict {
+		case fedOK:
+			if res.state == StateDone {
+				f.remoteDone.Add(1)
+			} else {
+				f.remoteFailed.Add(1)
+			}
+			return res, nil
+		case fedBusy:
+			tried[w.url] = true
+		case fedFault:
+			tried[w.url] = true
+			f.markDown(w)
+			f.retried.Add(1)
+		case fedTimeout:
+			tried[w.url] = true
+			f.stolen.Add(1)
+		default: // fedCanceled
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// pickWorker claims the next eligible worker (not tried for this
+// member, not cooling down after a fault), probing a node's admission
+// capacity on first contact. nil means no node is placeable.
+func (f *Federator) pickWorker(ctx context.Context, tried map[string]bool) *fedWorker {
+	for {
+		f.mu.Lock()
+		now := time.Now()
+		var eligible []*fedWorker
+		for _, w := range f.workers {
+			if tried[w.url] || now.Before(w.downUntil) {
+				continue
+			}
+			eligible = append(eligible, w)
+		}
+		if len(eligible) == 0 {
+			f.mu.Unlock()
+			return nil
+		}
+		w := f.pick(eligible)
+		w.inflight++
+		probe := w.capacity == 0
+		f.mu.Unlock()
+		if !probe {
+			return w
+		}
+		// First contact: learn the node's admission capacity from its
+		// /metrics. An unreachable node faults here, before any member
+		// state exists.
+		capacity, err := w.client.Capacity(ctx)
+		if err != nil {
+			f.done(w)
+			f.markDown(w)
+			tried[w.url] = true
+			continue
+		}
+		if capacity < 1 {
+			capacity = 1
+		}
+		f.mu.Lock()
+		w.capacity = capacity
+		f.mu.Unlock()
+		return w
+	}
+}
+
+// done returns a worker's placement slot.
+func (f *Federator) done(w *fedWorker) {
+	f.mu.Lock()
+	w.inflight--
+	f.mu.Unlock()
+}
+
+// markDown benches a faulted worker for the cooldown window.
+func (f *Federator) markDown(w *fedWorker) {
+	f.mu.Lock()
+	w.downUntil = time.Now().Add(f.opts.Cooldown)
+	f.mu.Unlock()
+}
+
+// runOn runs one placement attempt on one worker end to end: start,
+// verify the digest, poll to a terminal state, fetch and validate the
+// report.
+func (f *Federator) runOn(ctx context.Context, w *fedWorker, rs *expt.ResolvedSpec) (*remoteResult, fedVerdict) {
+	seed := rs.Seed
+	st, err := w.client.Start(ctx, dispatch.Request{
+		Profile:        rs.Profile,
+		Seed:           &seed,
+		Only:           rs.Only,
+		Jobs:           rs.Jobs,
+		Shards:         rs.Shards,
+		MaxActivations: rs.MaxActivations,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fedCanceled
+		}
+		var he *dispatch.HTTPError
+		if errors.As(err, &he) && he.Code == http.StatusTooManyRequests {
+			return nil, fedBusy
+		}
+		return nil, fedFault
+	}
+	id := st.ID
+	// The identity check the whole contract hangs on: the worker
+	// resolved the member to the same canonical digest, so its report
+	// is keyed — in its LRU, in the shared store — exactly like a
+	// local execution's would be. A mismatch means the worker is
+	// running different code or a different catalog; its bytes are
+	// not this member's bytes.
+	if st.Digest != rs.Digest() {
+		f.cancelRemote(w, id)
+		return nil, fedFault
+	}
+	if st.State == dispatch.StateRunning {
+		wctx := ctx
+		if f.opts.MemberTimeout > 0 {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(ctx, f.opts.MemberTimeout)
+			defer cancel()
+		}
+		st, err = w.client.Wait(wctx, id, f.opts.Poll)
+		if err != nil {
+			switch {
+			case ctx.Err() != nil:
+				// The coordinator itself is canceling. On a client
+				// DELETE the remote run is canceled too; on shutdown
+				// drain it is abandoned so the worker finishes into
+				// the shared store.
+				if !f.leaveOnCancel() {
+					f.cancelRemote(w, id)
+				}
+				return nil, fedCanceled
+			case wctx.Err() != nil:
+				// Only the member timeout expired: steal the member.
+				f.cancelRemote(w, id)
+				return nil, fedTimeout
+			default:
+				return nil, fedFault
+			}
+		}
+	}
+	switch st.State {
+	case dispatch.StateDone, dispatch.StateFailed:
+	default:
+		// Canceled on the worker side — an operator DELETE, a worker
+		// restart, a crash. That is a fault to retry, never a result.
+		return nil, fedFault
+	}
+	report, err := w.client.Report(ctx, id)
+	if err != nil {
+		// Includes the failed-without-report case (409): nothing to
+		// accept, so re-dispatch.
+		if ctx.Err() != nil {
+			return nil, fedCanceled
+		}
+		return nil, fedFault
+	}
+	lines, err := linesFromReport(report, rs.Names)
+	if err != nil {
+		// The bytes do not parse as this member's selection; refuse
+		// them outright.
+		return nil, fedFault
+	}
+	return &remoteResult{
+		state:   st.State,
+		report:  report,
+		lines:   lines,
+		errMsg:  st.Error,
+		errKind: st.ErrorKind,
+	}, fedOK
+}
+
+// cancelRemote best-effort cancels a run on a worker, detached from
+// the (possibly already canceled) member context.
+func (f *Federator) cancelRemote(w *fedWorker, id string) {
+	if id == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = w.client.Cancel(ctx, id)
+}
+
+// Snapshot freezes the dispatcher's counters for GET /metrics.
+func (f *Federator) Snapshot() MetricsFederation {
+	out := MetricsFederation{
+		Dispatched:    f.dispatched.Load(),
+		RemoteDone:    f.remoteDone.Load(),
+		RemoteFailed:  f.remoteFailed.Load(),
+		Retried:       f.retried.Load(),
+		Stolen:        f.stolen.Load(),
+		FallbackLocal: f.fallbackLocal.Load(),
+	}
+	f.mu.Lock()
+	now := time.Now()
+	out.Workers = len(f.workers)
+	for _, w := range f.workers {
+		if !now.Before(w.downUntil) {
+			out.Healthy++
+		}
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// Place adapts the federator to expt.CampaignOptions.Place, so
+// cmd/experiments -workers federates CLI campaigns through the same
+// dispatcher the server uses. A member no worker can take is declined
+// back to the caller's local pool.
+func (f *Federator) Place(ctx context.Context, index int, rs *expt.ResolvedSpec) (*expt.Placement, error) {
+	res, err := f.Execute(ctx, rs)
+	if err != nil {
+		if errors.Is(err, errNoWorkers) {
+			f.fallbackLocal.Add(1)
+		}
+		return nil, err
+	}
+	p := &expt.Placement{Report: res.report}
+	if res.state != StateDone {
+		p.Err = errors.New(res.errMsg)
+	}
+	return p, nil
+}
+
+// startRemoteExec launches one dispatch goroutine under the shutdown
+// WaitGroup — the federated twin of startExec.
+func (m *Manager) startRemoteExec(ctx context.Context, r *run, suite *expt.Suite) {
+	m.execWG.Add(1)
+	go func() {
+		defer m.execWG.Done()
+		m.remoteExec(ctx, r, suite)
+	}()
+}
+
+// remoteExec places one admitted execution on the worker fleet. Its
+// outcomes mirror exec's: a validated remote terminal state completes
+// the run with the worker's exact report bytes; cancellation (client
+// DELETE or shutdown drain) finishes it canceled; and an unplaceable
+// member — every worker down, busy, or already faulted on it — falls
+// back to a local execution, so a coordinator with no live workers
+// degrades to a plain dramscoped instead of wedging its campaigns.
+func (m *Manager) remoteExec(ctx context.Context, r *run, suite *expt.Suite) {
+	res, err := m.fed.Execute(ctx, r.spec)
+	switch {
+	case err == nil:
+		m.completeRemote(r, res)
+		m.finishExecution(r)
+	case ctx.Err() != nil:
+		r.finish(StateCanceled, nil, ctx.Err().Error())
+		m.finishExecution(r)
+	default:
+		m.fed.fallbackLocal.Add(1)
+		m.metrics.executed.Add(1)
+		m.exec(ctx, r, suite)
+	}
+}
+
+// completeRemote finishes a run with a worker's validated result,
+// entering it into the LRU and writing it through to the store exactly
+// as a local execution would — the shared cache tier that makes any
+// re-dispatch of the same spec free.
+func (m *Manager) completeRemote(r *run, res *remoteResult) {
+	r.mu.Lock()
+	if r.state == StateRunning {
+		for i, line := range res.lines {
+			if i < len(r.lines) && r.lines[i] == nil {
+				r.lines[i] = line
+				r.completed++
+			}
+		}
+		r.errKind = res.errKind
+	}
+	r.mu.Unlock()
+	r.finish(res.state, res.report, res.errMsg)
+	if res.state != StateDone {
+		return
+	}
+	m.cache.add(&cacheEntry{
+		key:    r.spec.Digest(),
+		names:  r.spec.Names,
+		report: res.report,
+		lines:  res.lines,
+	})
+	if m.artifacts != nil {
+		_ = m.artifacts.SaveReport(storeKey(r.spec), res.report)
+	}
+}
+
+// isDraining reports whether the manager is shutting down — the signal
+// the federator uses to abandon (rather than cancel) remote runs, so
+// workers finish them into the shared store for the next coordinator.
+func (m *Manager) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}

@@ -57,6 +57,12 @@ type Manager struct {
 	// activation-budget cap (see clientQuota).
 	quota *clientQuota
 
+	// fed, when non-nil, makes this manager a federation coordinator:
+	// admitted executions are dispatched to worker nodes instead of
+	// the local suite, with a local execution as the fallback of last
+	// resort (see federate.go).
+	fed *Federator
+
 	metrics *metrics
 
 	// execWG tracks every background goroutine the manager owns —
@@ -336,12 +342,19 @@ func (m *Manager) admitRun(rs *expt.ResolvedSpec, suite *expt.Suite, opts admitO
 			r.completeFromEntry(e)
 			m.releaseAdmission(r)
 		} else {
-			m.metrics.executed.Add(1)
 			ctx, cancel := context.WithCancel(context.Background())
 			r.mu.Lock()
 			r.cancel = cancel
 			r.mu.Unlock()
-			m.startExec(ctx, r, suite)
+			if m.fed != nil {
+				// Coordinator mode: hand the execution to the worker
+				// fleet. The remote path only ticks `executed` if it
+				// falls back to a local suite run.
+				m.startRemoteExec(ctx, r, suite)
+			} else {
+				m.metrics.executed.Add(1)
+				m.startExec(ctx, r, suite)
+			}
 		}
 	}
 	m.prune()
@@ -622,6 +635,31 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 			_ = m.artifacts.SaveReport(storeKey(r.spec), data)
 		}
 	}
+}
+
+// retryAfterSeconds derives the Retry-After hint a 429 carries from
+// live load: every admitted execution still outstanding (queued,
+// running, or dispatched to a worker) times the recent p50
+// admission-to-terminal latency, spread over the worker pool — a
+// bucket-resolution estimate of when the backlog next frees a slot.
+// Clamped to [1s, 5min]: an empty histogram still hints at one
+// second, and a pathological backlog cannot park clients for hours.
+func (m *Manager) retryAfterSeconds() int {
+	m.mu.Lock()
+	depth := m.outstanding
+	m.mu.Unlock()
+	mx := m.metrics
+	mx.mu.Lock()
+	p50 := mx.hist.percentile(0.50)
+	mx.mu.Unlock()
+	secs := int((float64(depth)*p50/float64(cap(m.budget)) + 999) / 1000)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
 }
 
 // finishExecution returns one execution's bounded resources and

@@ -146,6 +146,27 @@ type Metrics struct {
 	Cache   MetricsCache   `json:"cache"`
 	Probe   MetricsProbe   `json:"probe"`
 	Latency MetricsLatency `json:"latency"`
+	// Federation is present only on a coordinator (-workers).
+	Federation *MetricsFederation `json:"federation,omitempty"`
+}
+
+// MetricsFederation reports the coordinator's dispatcher. Dispatched
+// counts every member-to-worker placement attempt; RemoteDone and
+// RemoteFailed count members that reached a validated terminal state
+// on a worker; Retried counts re-dispatches after a worker fault;
+// Stolen counts re-dispatches after a member timeout; FallbackLocal
+// counts members no worker could take that executed on the
+// coordinator itself. Healthy is how many workers are currently in
+// placement (not benched by a fault cooldown).
+type MetricsFederation struct {
+	Workers       int   `json:"workers"`
+	Healthy       int   `json:"healthy"`
+	Dispatched    int64 `json:"dispatched"`
+	RemoteDone    int64 `json:"remoteDone"`
+	RemoteFailed  int64 `json:"remoteFailed"`
+	Retried       int64 `json:"retried"`
+	Stolen        int64 `json:"stolen"`
+	FallbackLocal int64 `json:"fallbackLocal"`
 }
 
 // MetricsQueue describes the admission queue and worker pool.
@@ -253,5 +274,9 @@ func (m *Manager) Metrics() Metrics {
 	}
 	mx.mu.Unlock()
 	out.Probe.ActivationsUsed = mx.activations.Load()
+	if m.fed != nil {
+		fs := m.fed.Snapshot()
+		out.Federation = &fs
+	}
 	return out
 }

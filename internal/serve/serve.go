@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"dramscope/internal/expt"
 	"dramscope/internal/store"
@@ -66,6 +68,19 @@ type Config struct {
 	// keyed by Authorization/X-API-Key header, falling back to remote
 	// address. 0 disables quotas.
 	ClientQuota int64
+	// Workers, when non-empty, runs the server as a federation
+	// coordinator: admitted executions (campaign members and solo
+	// runs alike) are dispatched to these worker dramscoped base URLs
+	// over the HTTP API, with faulted members retried on other nodes
+	// and a local execution as the fallback of last resort. Workers
+	// should share the coordinator's store directory so a
+	// re-dispatched member is a store hit instead of a recomputation.
+	// See docs/api.md, "Federated campaigns".
+	Workers []string
+	// MemberTimeout bounds one dispatched member's remote execution;
+	// on expiry the member is canceled on its worker and re-dispatched
+	// to another node. 0 disables the timeout.
+	MemberTimeout time.Duration
 }
 
 // Server is the HTTP front-end. It implements http.Handler.
@@ -92,6 +107,16 @@ func New(cfg Config) *Server {
 	}
 	mgr.quota = newClientQuota(cfg.ClientQuota)
 	mgr.artifacts = cfg.Store
+	if len(cfg.Workers) > 0 {
+		mgr.fed = NewFederator(FederationOptions{
+			Workers:       cfg.Workers,
+			MemberTimeout: cfg.MemberTimeout,
+		})
+		// On shutdown drain, abandon remote runs instead of canceling
+		// them: the workers finish into the shared store, and the
+		// restarted coordinator re-attaches via store hits.
+		mgr.fed.leaveOnCancel = mgr.isDraining
+	}
 	s := &Server{
 		mgr:     mgr,
 		factory: factory,
@@ -179,11 +204,15 @@ func clientKey(r *http.Request) string {
 // writeAdmissionError maps a typed admission failure onto the HTTP
 // surface: backpressure (queue full, quota exhausted) is 429 with
 // Retry-After, draining is 503, anything else is a 400 validation
-// error.
-func writeAdmissionError(w http.ResponseWriter, err error) {
+// error. The Retry-After hint is derived from live load — outstanding
+// executions times the recent p50 run latency, spread over the worker
+// pool — so a client backing off exactly as told re-arrives roughly
+// when a slot has freed, instead of hammering a loaded server every
+// second.
+func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuotaExceeded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.mgr.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -266,7 +295,7 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	}
 	run, err := s.mgr.Start(req, clientKey(r))
 	if err != nil {
-		writeAdmissionError(w, err)
+		s.writeAdmissionError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/runs/"+run.id)
@@ -350,7 +379,7 @@ func (s *Server) handleCreateCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	c, err := s.mgr.StartCampaign(req, clientKey(r))
 	if err != nil {
-		writeAdmissionError(w, err)
+		s.writeAdmissionError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/campaigns/"+c.id)
