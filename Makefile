@@ -11,8 +11,9 @@
 #                  percentiles, coalesce rate, rejects)
 #   make bench-check - CI smoke gate: fail if the cold-suite ns/ACT
 #                  regressed more than 2x vs the committed snapshot,
-#                  or if BENCH_serve.json records 5xx errors or zero
-#                  coalesced requests
+#                  if BENCH_serve.json records 5xx errors or zero
+#                  coalesced requests, or if tracing the cold suite
+#                  costs more than 5% wall time
 #   make load    - hammer a self-hosted server with examples/loadgen
 #                  and print the ServeBench numbers (no files written)
 #   make suite   - run the concurrent experiment suite (all artifacts)

@@ -39,6 +39,7 @@ import (
 
 	"dramscope/internal/expt"
 	"dramscope/internal/store"
+	"dramscope/internal/trace"
 )
 
 // SuiteBench is the committed BENCH_suite.json shape.
@@ -79,21 +80,26 @@ func main() {
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "serving snapshot path (written by examples/loadgen; -check validates it)")
 	check := flag.Bool("check", false, "re-measure the cold suite and fail on a gross ns/ACT regression vs -suite-out")
 	threshold := flag.Float64("threshold", 2.0, "-check fails when measured ns/ACT exceeds snapshot ns/ACT by this factor")
+	traceOverhead := flag.Float64("trace-overhead", 1.05, "-check fails when a traced cold suite is slower than the untraced one by this factor")
 	jobs := flag.Int("jobs", 1, "suite worker count for the measured runs (1 = the serial hot-path number)")
 	flag.Parse()
 
-	if err := run(*suiteOut, *campaignOut, *serveOut, *check, *threshold, *jobs); err != nil {
+	if err := run(*suiteOut, *campaignOut, *serveOut, *check, *threshold, *traceOverhead, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suiteOut, campaignOut, serveOut string, check bool, threshold float64, jobs int) error {
+func run(suiteOut, campaignOut, serveOut string, check bool, threshold, traceOverhead float64, jobs int) error {
 	if check {
 		if err := checkServe(serveOut); err != nil {
 			return err
 		}
-		return checkSuite(suiteOut, threshold, jobs)
+		untraced, err := checkSuite(suiteOut, threshold, jobs)
+		if err != nil {
+			return err
+		}
+		return checkTraceOverhead(untraced, traceOverhead, jobs)
 	}
 	sb, err := measureSuite(jobs, true)
 	if err != nil {
@@ -119,14 +125,15 @@ func run(suiteOut, campaignOut, serveOut string, check bool, threshold float64, 
 }
 
 // coldSuite runs the full default suite against the given store
-// (nil = no store) and returns the wall time and metered activations.
-func coldSuite(jobs int, st *store.Store) (time.Duration, int64, error) {
+// (nil = no store), optionally under a trace span, and returns the
+// wall time and metered activations.
+func coldSuite(jobs int, st *store.Store, root *trace.Span) (time.Duration, int64, error) {
 	s, err := expt.DefaultSuite(expt.DefaultFigProfile, expt.DefaultSeed)
 	if err != nil {
 		return 0, 0, err
 	}
 	start := time.Now()
-	rep, err := s.Run(expt.Options{Spec: expt.RunSpec{Jobs: jobs, Shards: jobs}, Store: st})
+	rep, err := s.Run(expt.Options{Spec: expt.RunSpec{Jobs: jobs, Shards: jobs}, Store: st, Trace: root})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -150,7 +157,7 @@ func measureSuite(jobs int, warm bool) (*SuiteBench, error) {
 	}
 
 	// Cold: empty store, the run pays the full probe chain.
-	cold, acts, err := coldSuite(jobs, st)
+	cold, acts, err := coldSuite(jobs, st, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +170,7 @@ func measureSuite(jobs int, warm bool) (*SuiteBench, error) {
 	if warm {
 		// Warm: the store now holds every probe chain; the suite skips
 		// straight to measurement.
-		warmWall, _, err := coldSuite(jobs, st)
+		warmWall, _, err := coldSuite(jobs, st, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -211,33 +218,60 @@ func measureCampaign(jobs int) (*CampaignBench, error) {
 
 // checkSuite is the CI smoke gate: one cold suite run, compared
 // against the committed snapshot on the machine-portable ns/ACT
-// metric only.
-func checkSuite(suiteOut string, threshold float64, jobs int) error {
+// metric only. The measured untraced wall time is returned so the
+// trace-overhead gate can reuse it.
+func checkSuite(suiteOut string, threshold float64, jobs int) (time.Duration, error) {
 	data, err := os.ReadFile(suiteOut)
 	if err != nil {
-		return fmt.Errorf("no committed snapshot (run `make bench-snapshot` first): %w", err)
+		return 0, fmt.Errorf("no committed snapshot (run `make bench-snapshot` first): %w", err)
 	}
 	var want SuiteBench
 	if err := json.Unmarshal(data, &want); err != nil {
-		return fmt.Errorf("corrupt snapshot %s: %w", suiteOut, err)
+		return 0, fmt.Errorf("corrupt snapshot %s: %w", suiteOut, err)
 	}
 	if want.NsPerAct <= 0 {
-		return fmt.Errorf("snapshot %s has no ns/ACT baseline", suiteOut)
+		return 0, fmt.Errorf("snapshot %s has no ns/ACT baseline", suiteOut)
 	}
 
-	cold, acts, err := coldSuite(jobs, nil)
+	cold, acts, err := coldSuite(jobs, nil, nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if acts <= 0 {
-		return fmt.Errorf("cold suite metered no activations")
+		return 0, fmt.Errorf("cold suite metered no activations")
 	}
 	got := float64(cold.Nanoseconds()) / float64(acts)
 	fmt.Printf("ns/ACT: measured %.1f, snapshot %.1f (%.2fx, threshold %.1fx)\n",
 		got, want.NsPerAct, got/want.NsPerAct, threshold)
 	if got > want.NsPerAct*threshold {
-		return fmt.Errorf("hot path regressed: %.1f ns/ACT vs snapshot %.1f (more than %.1fx)",
+		return 0, fmt.Errorf("hot path regressed: %.1f ns/ACT vs snapshot %.1f (more than %.1fx)",
 			got, want.NsPerAct, threshold)
+	}
+	return cold, nil
+}
+
+// checkTraceOverhead proves tracing stays effectively free on the hot
+// path: one traced cold suite, compared against the untraced wall time
+// checkSuite just measured on the same machine in the same process.
+// Span creation is per-unit, not per-command, so the real ratio is
+// ~1.00; the gate's margin absorbs run-to-run jitter.
+func checkTraceOverhead(untraced time.Duration, factor float64, jobs int) error {
+	rec := trace.New(trace.DeriveID("benchsnap", "trace-overhead"))
+	root := rec.Root("run", "benchsnap traced cold suite").Begin()
+	traced, _, err := coldSuite(jobs, nil, root)
+	if err != nil {
+		return err
+	}
+	root.End()
+	if n := len(rec.Records()); n < 2 {
+		return fmt.Errorf("traced suite recorded only %d spans; tracing was not engaged", n)
+	}
+	ratio := float64(traced) / float64(untraced)
+	fmt.Printf("trace overhead: untraced %s, traced %s (%.3fx, threshold %.2fx)\n",
+		untraced.Round(time.Millisecond), traced.Round(time.Millisecond), ratio, factor)
+	if ratio > factor {
+		return fmt.Errorf("tracing overhead %.3fx exceeds %.2fx: traced %s vs untraced %s",
+			ratio, factor, traced, untraced)
 	}
 	return nil
 }

@@ -19,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"dramscope/internal/cli"
 	"dramscope/internal/core"
 	"dramscope/internal/expt"
+	"dramscope/internal/host"
 	"dramscope/internal/stats"
 	"dramscope/internal/topo"
+	"dramscope/internal/trace"
 )
 
 func main() {
@@ -33,13 +36,14 @@ func main() {
 	list := flag.Bool("list", false, "list available device profiles")
 	swizzle := flag.Bool("swizzle", false, "also reverse-engineer the data swizzle (slower)")
 	storeFlags := cli.BindStoreFlags(flag.CommandLine)
+	traceFlags := cli.BindTraceFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(expandedCatalog())
 		return
 	}
-	if err := run(*profile, *seed, *swizzle, storeFlags); err != nil {
+	if err := run(*profile, *seed, *swizzle, storeFlags, traceFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "dramscope:", err)
 		os.Exit(1)
 	}
@@ -53,7 +57,7 @@ func expandedCatalog() string {
 	return t.String()
 }
 
-func run(name string, seed uint64, withSwizzle bool, storeFlags *cli.StoreFlags) error {
+func run(name string, seed uint64, withSwizzle bool, storeFlags *cli.StoreFlags, traceFlags *cli.TraceFlags) error {
 	prof, err := cli.Profile(name)
 	if err != nil {
 		return err
@@ -70,13 +74,25 @@ func run(name string, seed uint64, withSwizzle bool, storeFlags *cli.StoreFlags)
 	fmt.Printf("Probing %s (bank 0, %d rows x %d cols x %d-bit bursts)\n\n",
 		prof.Name, e.Host.Rows(), e.Host.Columns(), e.Host.DataWidth())
 
+	// -trace: one "probe" root named by (profile, seed), with one child
+	// per probe stage carrying that stage's DRAM command bill.
+	rec := traceFlags.Recorder()
+	rec.SetTraceID(trace.DeriveID(prof.Name, strconv.FormatUint(seed, 10)))
+	root := rec.Root("probe", fmt.Sprintf("probe %s seed %d", prof.Name, seed)).Begin()
+	root.SetAttr("profile", prof.Name).SetAttr("seed", seed)
+
 	level := expt.ProbeCells
 	if withSwizzle {
 		level = expt.ProbeSwizzle
 	}
+	warm := root.Child("warm", "probe-chain warm-up").Begin()
+	warm.SetAttr("level", int(level))
 	if err := e.WarmStored(st, level); err != nil {
 		return err
 	}
+	warm.AddCounters(e.Commands())
+	warm.AddBatches(e.Host.Batches())
+	warm.End()
 	if cost := e.Commands(); cost.Total() == 0 {
 		fmt.Println("probe cost: none (loaded from store)")
 	} else {
@@ -108,10 +124,14 @@ func run(name string, seed uint64, withSwizzle bool, storeFlags *cli.StoreFlags)
 	if err != nil {
 		return err
 	}
+	cs := root.Child("coupled", "coupled-row probe").Begin()
 	coupled, err := core.ProbeCoupledRows(mc.Host, mc.Bank, ro)
 	if err != nil {
 		return err
 	}
+	cs.AddCounters(mc.Commands())
+	cs.AddBatches(mc.Host.Batches())
+	cs.End()
 	if coupled.Coupled() {
 		fmt.Printf("Coupled rows: (n, n+%d) alias one wordline\n", coupled.Distance)
 	} else {
@@ -126,17 +146,27 @@ func run(name string, seed uint64, withSwizzle bool, storeFlags *cli.StoreFlags)
 		pol.Interleaved, headBool(pol.AntiBySubarray, 6))
 
 	if withSwizzle {
+		before := e.Commands()
+		sw := root.Child("swizzle", "data-swizzle probe").Begin()
 		sm, err := e.Swizzle()
 		if err != nil {
 			return err
 		}
+		after := e.Commands()
+		sw.AddCounters(host.Counters{
+			ACT: after.ACT - before.ACT, PRE: after.PRE - before.PRE,
+			RD: after.RD - before.RD, WR: after.WR - before.WR,
+			REF: after.REF - before.REF,
+		})
+		sw.End()
 		fmt.Printf("\nData swizzle: %d MATs x %d bits per burst, MAT width %d cells, column stride %d\n",
 			sm.MATsPerBurst(), sm.BitsPerMAT, sm.MATWidthBits, sm.ColumnStride)
 		for i, ord := range sm.Orders {
 			fmt.Printf("  MAT %d cell order: %v\n", i, ord)
 		}
 	}
-	return nil
+	root.End()
+	return traceFlags.Write(rec)
 }
 
 func head(xs []int, n int) []int {

@@ -65,6 +65,8 @@ func main() {
 	clientQuota := flag.Int64("client-quota", 0, "per-client in-flight activation-budget quota; 0 disables (see docs/api.md)")
 	workers := flag.String("workers", "", "comma-separated worker dramscoped base URLs; makes this instance a federation coordinator")
 	memberTimeout := flag.Duration("member-timeout", 0, "per-member remote execution bound before the member is re-dispatched (0 = none)")
+	traceFile := flag.String("trace", "", "append every finished run's span tree as NDJSON to this file (see docs/observability.md)")
+	slowThreshold := flag.Duration("slow-threshold", 0, "log one structured NDJSON line to stderr for every run whose wall time meets this bound (0 = off)")
 	storeFlags := cli.BindStoreFlags(flag.CommandLine)
 	pprofFlags := cli.BindPprofFlags(flag.CommandLine)
 	flag.Parse()
@@ -73,7 +75,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dramscoped:", err)
 		os.Exit(1)
 	}
-	err := run(*addr, *budget, *cacheSize, *retain, *queue, *clientQuota, *workers, *memberTimeout, storeFlags)
+	err := run(*addr, *budget, *cacheSize, *retain, *queue, *clientQuota, *workers, *memberTimeout, *traceFile, *slowThreshold, storeFlags)
 	// Flush profiles before exiting either way: the profile of a
 	// crashed server is the interesting one.
 	if perr := pprofFlags.Stop(); err == nil {
@@ -86,12 +88,13 @@ func main() {
 }
 
 func run(addr string, budget, cacheSize, retain, queue int, clientQuota int64,
-	workers string, memberTimeout time.Duration, storeFlags *cli.StoreFlags) error {
+	workers string, memberTimeout time.Duration, traceFile string,
+	slowThreshold time.Duration, storeFlags *cli.StoreFlags) error {
 	st, err := storeFlags.Open()
 	if err != nil {
 		return err
 	}
-	handler := serve.New(serve.Config{
+	cfg := serve.Config{
 		Budget:        budget,
 		CacheSize:     cacheSize,
 		Retain:        retain,
@@ -100,7 +103,22 @@ func run(addr string, budget, cacheSize, retain, queue int, clientQuota int64,
 		Store:         st,
 		Workers:       cli.SplitList(workers),
 		MemberTimeout: memberTimeout,
-	})
+	}
+	if traceFile != "" {
+		// Append, not truncate: a restarted server keeps extending the
+		// same trace log, one self-contained span tree per finished run.
+		tw, err := os.OpenFile(traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer tw.Close()
+		cfg.TraceWriter = tw
+	}
+	if slowThreshold > 0 {
+		cfg.SlowThreshold = slowThreshold
+		cfg.SlowLog = os.Stderr
+	}
+	handler := serve.New(cfg)
 	srv := &http.Server{
 		Addr:    addr,
 		Handler: handler,

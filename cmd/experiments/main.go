@@ -78,6 +78,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr (stdout stays byte-stable)")
 	storeFlags := cli.BindStoreFlags(flag.CommandLine)
 	pprofFlags := cli.BindPprofFlags(flag.CommandLine)
+	traceFlags := cli.BindTraceFlags(flag.CommandLine)
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -111,6 +112,7 @@ func main() {
 		csvDir:   *csvDir,
 		progress: *progress,
 		list:     *list,
+		trace:    traceFlags,
 	}
 	if err := pprofFlags.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -139,6 +141,7 @@ type runConfig struct {
 	csvDir   string
 	progress bool
 	list     bool
+	trace    *cli.TraceFlags
 }
 
 func run(ctx context.Context, cfg runConfig, storeFlags *cli.StoreFlags) error {
@@ -174,7 +177,14 @@ func runSolo(ctx context.Context, cfg runConfig, st *store.Store) error {
 	if err != nil {
 		return err
 	}
-	opt := expt.Options{Spec: rs.RunSpec, Context: ctx, Store: st}
+	// -trace: the solo run's trace is named by its canonical digest, so
+	// a re-run of the same spec produces the same span IDs. Tracing is
+	// out-of-band by construction — the report bytes never move.
+	rec := cfg.trace.Recorder()
+	rec.SetTraceID(rs.Digest())
+	root := rec.Root("run", fmt.Sprintf("run %s seed %d", rs.Profile, rs.Seed)).Begin()
+	root.SetAttr("digest", rs.Digest()).SetAttr("profile", rs.Profile).SetAttr("seed", rs.Seed)
+	opt := expt.Options{Spec: rs.RunSpec, Context: ctx, Store: st, Trace: root}
 	if cfg.progress {
 		// Progress is out-of-band on stderr so the deterministic
 		// report on stdout stays byte-identical with or without it.
@@ -190,6 +200,10 @@ func runSolo(ctx context.Context, cfg runConfig, st *store.Store) error {
 	rep, err := suite.Run(opt)
 	if err != nil {
 		return err
+	}
+	root.End()
+	if terr := cfg.trace.Write(rec); terr != nil {
+		return terr
 	}
 	if cfg.progress {
 		printProbeCost(suite.ProbeCost())
@@ -255,6 +269,11 @@ func runCampaign(ctx context.Context, cfg runConfig, st *store.Store) error {
 	var mu sync.Mutex
 	var probeCost host.Counters
 	var writeErr error
+	// -trace: the campaign derives its trace ID from the member digests
+	// once they are resolved, so the recorder starts unnamed.
+	rec := cfg.trace.Recorder()
+	root := rec.Root("campaign", fmt.Sprintf("campaign %s", cfg.campaign)).Begin()
+	root.SetAttr("profiles", cfg.campaign).SetAttr("members", len(c.Specs))
 	// -workers: federate members across a worker fleet through the
 	// same dispatcher dramscoped's coordinator mode uses. Members no
 	// worker can take decline back to the local pool, so a dead fleet
@@ -264,6 +283,7 @@ func runCampaign(ctx context.Context, cfg runConfig, st *store.Store) error {
 		Jobs:    cfg.spec.Jobs,
 		Store:   st,
 		Context: ctx,
+		Trace:   root,
 		OnRun: func(index, total int, res *expt.CampaignRunResult) {
 			mu.Lock()
 			probeCost = probeCost.Add(res.ProbeCost)
@@ -298,6 +318,10 @@ func runCampaign(ctx context.Context, cfg runConfig, st *store.Store) error {
 	rep, err := c.Run(opt)
 	if err != nil {
 		return err
+	}
+	root.End()
+	if terr := cfg.trace.Write(rec); terr != nil {
+		return terr
 	}
 	if cfg.progress {
 		printProbeCost(probeCost)

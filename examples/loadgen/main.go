@@ -70,6 +70,22 @@ type ServeBench struct {
 	P50Ms             float64 `json:"p50_ms"`
 	P95Ms             float64 `json:"p95_ms"`
 	P99Ms             float64 `json:"p99_ms"`
+
+	// Phases breaks the latency percentiles down by workload phase —
+	// "burst" (the coalesce wave, dominated by the single shared suite
+	// execution) and "mixed" (steady hot/cold traffic, dominated by
+	// cache hits) — because the overall percentiles blend two regimes
+	// that regress independently.
+	Phases map[string]PhaseBench `json:"phases"`
+}
+
+// PhaseBench is one workload phase's slice of the snapshot.
+type PhaseBench struct {
+	Requests  int     `json:"requests"`
+	Completed int     `json:"completed"`
+	P50Ms     float64 `json:"p50_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
 }
 
 // runStatus mirrors the few serve.RunStatus fields the generator needs
@@ -93,6 +109,39 @@ type tally struct {
 	errors5xx int
 	failed    int
 	latencies []float64 // ms, POST to terminal state, completed runs only
+
+	// phase names the current workload phase; phases accumulates the
+	// per-phase scoreboard. Transitions happen only between phases,
+	// after every in-flight request has drained.
+	phase  string
+	phases map[string]*phaseTally
+}
+
+type phaseTally struct {
+	requests  int
+	completed int
+	latencies []float64
+}
+
+// setPhase switches the scoreboard to a new workload phase.
+func (tl *tally) setPhase(name string) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.phase = name
+	if tl.phases == nil {
+		tl.phases = make(map[string]*phaseTally)
+	}
+	if tl.phases[name] == nil {
+		tl.phases[name] = &phaseTally{}
+	}
+}
+
+// phaseLocked returns the current phase's scoreboard; callers hold mu.
+func (tl *tally) phaseLocked() *phaseTally {
+	if tl.phases == nil || tl.phase == "" {
+		return &phaseTally{} // discard: no phase active
+	}
+	return tl.phases[tl.phase]
 }
 
 func main() {
@@ -158,6 +207,7 @@ func run(addr string, selfhost bool, fleet int, duration time.Duration, clients 
 	// reports at least one coalesced admission (each wave's digest is
 	// new, so an LRU hit can never mask the result).
 	const burstBase = 900000
+	tl.setPhase("burst")
 	for wave := 0; wave < 8; wave++ {
 		burstBody := body(burstBase+int64(wave), burstRun)
 		var barrier, done sync.WaitGroup
@@ -178,6 +228,7 @@ func run(addr string, selfhost bool, fleet int, duration time.Duration, clients 
 	}
 
 	// Phase 2 — mixed hot/cold load for the measured duration.
+	tl.setPhase("mixed")
 	hotBody := body(burstBase-1, selection)
 	deadline := time.Now().Add(duration)
 	var wg sync.WaitGroup
@@ -262,6 +313,7 @@ func (tl *tally) post(client *http.Client, addr, body string) {
 	if err != nil {
 		tl.mu.Lock()
 		tl.requests++
+		tl.phaseLocked().requests++
 		tl.failed++
 		tl.mu.Unlock()
 		return
@@ -272,6 +324,7 @@ func (tl *tally) post(client *http.Client, addr, body string) {
 
 	tl.mu.Lock()
 	tl.requests++
+	tl.phaseLocked().requests++
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
 		tl.rejected++
@@ -320,6 +373,9 @@ func (tl *tally) post(client *http.Client, addr, body string) {
 	if st.State == "done" {
 		tl.completed++
 		tl.latencies = append(tl.latencies, elapsed)
+		p := tl.phaseLocked()
+		p.completed++
+		p.latencies = append(p.latencies, elapsed)
 	} else {
 		tl.failed++
 	}
@@ -348,6 +404,20 @@ func (tl *tally) snapshot() ServeBench {
 	sb.P50Ms = pct(lat, 0.50)
 	sb.P95Ms = pct(lat, 0.95)
 	sb.P99Ms = pct(lat, 0.99)
+	if len(tl.phases) > 0 {
+		sb.Phases = make(map[string]PhaseBench, len(tl.phases))
+		for name, p := range tl.phases {
+			plat := append([]float64(nil), p.latencies...)
+			sort.Float64s(plat)
+			sb.Phases[name] = PhaseBench{
+				Requests:  p.requests,
+				Completed: p.completed,
+				P50Ms:     pct(plat, 0.50),
+				P95Ms:     pct(plat, 0.95),
+				P99Ms:     pct(plat, 0.99),
+			}
+		}
+	}
 	return sb
 }
 

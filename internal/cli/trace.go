@@ -1,0 +1,81 @@
+package cli
+
+import (
+	"flag"
+	"os"
+
+	"dramscope/internal/trace"
+)
+
+// TraceFlags is the bound -trace/-trace-chrome pair shared by the
+// binaries: where to export the invocation's span tree, if anywhere.
+// See docs/observability.md for the span model and formats.
+type TraceFlags struct {
+	// Out is the NDJSON trace file (one trace.Record per line); empty
+	// disables.
+	Out string
+	// Chrome is the Chrome trace-event JSON file, loadable in Perfetto
+	// and chrome://tracing; empty disables.
+	Chrome string
+}
+
+// BindTraceFlags registers the shared tracing flags on a FlagSet with
+// the canonical help texts.
+func BindTraceFlags(fs *flag.FlagSet) *TraceFlags {
+	f := &TraceFlags{}
+	fs.StringVar(&f.Out, "trace", "",
+		"write the invocation's span tree as NDJSON to this file (see docs/observability.md)")
+	fs.StringVar(&f.Chrome, "trace-chrome", "",
+		"write the invocation's span tree as Chrome trace-event JSON, loadable in Perfetto")
+	return f
+}
+
+// Enabled reports whether any trace output was requested.
+func (f *TraceFlags) Enabled() bool { return f.Out != "" || f.Chrome != "" }
+
+// Recorder returns a fresh recorder when tracing is enabled and nil
+// otherwise — and a nil recorder's spans are free no-ops, so call
+// sites thread it unconditionally and pay one nil check when tracing
+// is off.
+func (f *TraceFlags) Recorder() *trace.Recorder {
+	if !f.Enabled() {
+		return nil
+	}
+	return trace.New("")
+}
+
+// Write exports the recorder's records to every configured output. A
+// nil recorder writes nothing.
+func (f *TraceFlags) Write(rec *trace.Recorder) error {
+	if rec == nil {
+		return nil
+	}
+	recs := rec.Records()
+	if f.Out != "" {
+		if err := writeFile(f.Out, func(w *os.File) error {
+			return trace.WriteNDJSON(w, recs)
+		}); err != nil {
+			return err
+		}
+	}
+	if f.Chrome != "" {
+		if err := writeFile(f.Chrome, func(w *os.File) error {
+			return trace.WriteChrome(w, recs)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, render func(*os.File) error) error {
+	w, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}

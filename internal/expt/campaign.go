@@ -27,6 +27,7 @@ import (
 	"dramscope/internal/stats"
 	"dramscope/internal/store"
 	"dramscope/internal/topo"
+	"dramscope/internal/trace"
 )
 
 // Campaign is an ordered list of run specs executed as one unit.
@@ -70,6 +71,14 @@ type CampaignOptions struct {
 	// Place can change where a member runs but never a byte of the
 	// aggregate.
 	Place PlaceFunc
+	// Trace, when non-nil, is the campaign root span: one
+	// "member:<index>" child per spec (created in spec order before any
+	// run starts), with each member's suite spans below it. If the
+	// owning recorder has no trace ID yet, Run derives one from the
+	// resolved member digests, so equal campaigns trace under equal
+	// IDs. The member span is also put on the Place context, so a
+	// federated placement can hang its dispatch spans under it.
+	Trace *trace.Span
 }
 
 // PlaceFunc offers one campaign member to an external executor.
@@ -146,6 +155,30 @@ func (c *Campaign) Run(opt CampaignOptions) (*CampaignReport, error) {
 		resolved[i], suites[i] = rs, suite
 	}
 
+	// Trace wiring: name the trace after the member digests (unless the
+	// caller already did) and pre-create one member span per spec, in
+	// spec order, so the tree shape never depends on scheduling.
+	var memberSpans []*trace.Span
+	if opt.Trace != nil {
+		if rec := opt.Trace.Recorder(); rec.TraceID() == "" {
+			parts := make([]string, len(resolved))
+			for i, rs := range resolved {
+				parts[i] = rs.Digest()
+			}
+			rec.SetTraceID(trace.DeriveID(parts...))
+		}
+		memberSpans = make([]*trace.Span, len(resolved))
+		for i, rs := range resolved {
+			m := opt.Trace.Child(fmt.Sprintf("member:%06d", i),
+				fmt.Sprintf("member %d %s seed %d", i, rs.Profile, rs.Seed))
+			m.SetAttr("index", i)
+			m.SetAttr("digest", rs.Digest())
+			m.SetAttr("profile", rs.Profile)
+			m.SetAttr("seed", rs.Seed)
+			memberSpans[i] = m
+		}
+	}
+
 	jobs := opt.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -164,9 +197,21 @@ func (c *Campaign) Run(opt CampaignOptions) (*CampaignReport, error) {
 			res := &results[i]
 			res.Index = i
 			res.Spec = resolved[i]
+			var mspan *trace.Span
+			if memberSpans != nil {
+				mspan = memberSpans[i]
+			}
+			mspan.Begin()
 			start := time.Now()
 			defer func() {
 				res.Elapsed = time.Since(start)
+				if res.Cached {
+					mspan.SetAttr("cached", true)
+				}
+				if res.Remote {
+					mspan.SetAttr("remote", true)
+				}
+				mspan.End()
 				if opt.OnRun != nil {
 					opt.OnRun(i, len(resolved), res)
 				}
@@ -187,7 +232,10 @@ func (c *Campaign) Run(opt CampaignOptions) (*CampaignReport, error) {
 			// through to the store like a local completion so the next
 			// campaign memoizes it.
 			if opt.Place != nil && ctx.Err() == nil {
-				if p, _ := opt.Place(ctx, i, resolved[i]); p != nil {
+				// The member span rides the context (PlaceFunc's
+				// signature is trace-agnostic); a federated executor
+				// hangs its dispatch spans under it.
+				if p, _ := opt.Place(trace.NewContext(ctx, mspan), i, resolved[i]); p != nil {
 					res.Report = p.Report
 					res.Err = p.Err
 					res.Remote = true
@@ -205,7 +253,7 @@ func (c *Campaign) Run(opt CampaignOptions) (*CampaignReport, error) {
 			defer releaseTokens(tokens, got)
 			spec := resolved[i].RunSpec
 			spec.Jobs = got
-			rep, err := suites[i].Run(Options{Spec: spec, Context: ctx, Store: opt.Store})
+			rep, err := suites[i].Run(Options{Spec: spec, Context: ctx, Store: opt.Store, Trace: mspan})
 			res.ProbeCost = suites[i].ProbeCost()
 			if err != nil {
 				res.Err = err

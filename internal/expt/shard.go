@@ -1,6 +1,10 @@
 package expt
 
-import "fmt"
+import (
+	"fmt"
+
+	"dramscope/internal/host"
+)
 
 // Partition declares an Experiment as a set of independent work units
 // that the scheduler may fan out across the worker pool — the
@@ -109,6 +113,19 @@ func (sj *ShardJob) acts() int64 {
 		total += c.Commands().ACT
 	}
 	return total
+}
+
+// cost sums the full command counters and batched-burst dispatch
+// counts of this unit's measurement clones — the unit's kernel span
+// attribution. Like acts, it is a pure function of (profile, seed,
+// unit), so trace shapes carrying it stay byte-identical for any
+// jobs/shards value. Must be read before release.
+func (sj *ShardJob) cost() (total host.Counters, batches int64) {
+	for _, c := range sj.clones {
+		total = total.Add(c.Commands())
+		batches += c.Host.Batches()
+	}
+	return total, batches
 }
 
 // release returns every measurement clone's device to the parent

@@ -44,6 +44,7 @@ import (
 	"dramscope/internal/stats"
 	"dramscope/internal/store"
 	"dramscope/internal/topo"
+	"dramscope/internal/trace"
 )
 
 // Needs declares an experiment's scheduling requirements.
@@ -268,6 +269,15 @@ type Suite struct {
 	budgetCap  int64
 	actsUsed   int64
 	envCharged map[*Env]int64
+
+	// Tracing (nil when the run is untraced). exptSpans maps visible
+	// experiment names to their spans; it is built before the worker
+	// pool starts and read-only afterwards, so workers need no lock.
+	// warmLevel records the per-device probe level plan computed, for
+	// the warm spans' attributes.
+	traceSpan *trace.Span
+	exptSpans map[string]*trace.Span
+	warmLevel map[string]ProbeLevel
 
 	mu      sync.Mutex
 	envs    map[string]*Env
@@ -568,6 +578,15 @@ type Options struct {
 	// a store-primed Env is indistinguishable from a freshly probed one
 	// by construction.
 	Store *store.Store
+	// Trace, when non-nil, is the parent span the run's span tree hangs
+	// under: one "expt:<name>" span per selected experiment (in
+	// registration order), "unit:<index>"/"kernel" spans below
+	// partitioned ones, and one "warm:<device>" span per shared device
+	// carrying the probe-chain command cost. Span IDs derive from the
+	// trace ID and the scheduler path, so the tree shape is
+	// byte-identical for any Jobs/Shards value (trace.ShapeNDJSON);
+	// tracing can never change a byte of the report.
+	Trace *trace.Span
 }
 
 // unitOut is one unit's outcome in a partitioned experiment. Shard
@@ -663,6 +682,28 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 		jobs = len(nodes)
 	}
 
+	// Pre-create every visible experiment's span in registration order,
+	// before any worker runs: unit and kernel spans then always have a
+	// parent regardless of scheduling, and the map is read-only once the
+	// pool starts.
+	if opt.Trace != nil {
+		s.traceSpan = opt.Trace
+		s.exptSpans = make(map[string]*trace.Span)
+		for _, n := range nodes {
+			if n.hidden {
+				continue
+			}
+			sp := opt.Trace.Child("expt:"+n.exp.Name, n.exp.Name)
+			if dev := n.exp.Needs.Device; dev != "" {
+				sp.SetAttr("device", dev)
+			}
+			if n.exp.Part != nil {
+				sp.SetAttr("units", n.exp.Part.Units)
+			}
+			s.exptSpans[n.exp.Name] = sp
+		}
+	}
+
 	// Report indices of the visible nodes, for OnResult progress.
 	reportIdx := make(map[*node]int)
 	total := 0
@@ -733,6 +774,28 @@ func (s *Suite) Run(opt Options) (*Report, error) {
 	}
 	wg.Wait()
 
+	// One warm span per shared device Env, in device-name order:
+	// exactly the probe-chain cost (the only commands those Envs' hosts
+	// ever issue), which is a pure function of (profile, seed, level) —
+	// zero on a store-warmed run, truthfully attributed either way.
+	if s.traceSpan != nil {
+		s.mu.Lock()
+		devs := make([]string, 0, len(s.envs))
+		for d := range s.envs {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		for _, d := range devs {
+			e := s.envs[d]
+			w := s.traceSpan.Child("warm:"+d, "warm "+d)
+			w.SetAttr("device", d)
+			w.SetAttr("level", int(s.warmLevel[d]))
+			w.AddCounters(e.Commands())
+			w.AddBatches(e.Host.Batches())
+		}
+		s.mu.Unlock()
+	}
+
 	rep := &Report{Seed: s.seed}
 	for _, n := range nodes {
 		if n.hidden {
@@ -751,6 +814,11 @@ func (s *Suite) runNode(n *node) {
 	if n.shard != nil {
 		n.shard.state.began(started)
 	}
+	// The experiment span begins when its first node — shard or
+	// visible — starts (Begin is idempotent) and ends when the visible
+	// node finishes, mirroring Elapsed's first-shard-to-merge window.
+	espan := s.exptSpans[n.exp.Name]
+	espan.Begin()
 	defer func() {
 		if n.res != nil && !n.hidden {
 			// Partitioned experiments span from their first shard; a
@@ -761,6 +829,10 @@ func (s *Suite) runNode(n *node) {
 			} else {
 				n.res.Elapsed = time.Since(started)
 			}
+			if n.res.Err != nil {
+				espan.SetAttr("error", n.res.Err.Error())
+			}
+			espan.End()
 		}
 	}()
 	n.res = &ExptResult{Name: n.exp.Name, Title: n.exp.Title}
@@ -878,8 +950,13 @@ func (s *Suite) runNode(n *node) {
 		// lowest-index failure deterministically.
 		s.runShard(n, env)
 	case n.exp.Part != nil:
-		// Visible node of a partitioned experiment: merge.
+		// Visible node of a partitioned experiment: merge. The merge
+		// issues no commands; its span records only the (out-of-band)
+		// assembly time.
+		m := espan.Child("merge", "merge")
+		m.Begin()
 		s.runMerge(n)
+		m.End()
 	default:
 		if env != nil {
 			// Measurements never run on the shared Env: each
@@ -906,6 +983,14 @@ func (s *Suite) runNode(n *node) {
 			// An experiment whose measurement crossed the cap is the
 			// offending one and fails with the typed error.
 			be = s.chargeActs(j.env.Commands().ACT)
+			// Kernel span: the measurement clone's command cost and
+			// batched-burst count — the cost of this experiment's own
+			// device work, as opposed to the shared warm-up.
+			if espan != nil {
+				k := espan.Child("kernel", "kernel")
+				k.AddCounters(j.env.Commands())
+				k.AddBatches(j.env.Host.Batches())
+			}
 			// The clone is fully accounted; recycle its device for the
 			// next experiment on this device to Clone cheaply.
 			j.env.Release()
@@ -937,6 +1022,7 @@ func (s *Suite) runNode(n *node) {
 // outcomes are independent of how units were grouped into shards.
 func (s *Suite) runShard(n *node, env *Env) {
 	sr := n.shard
+	espan := s.exptSpans[n.exp.Name]
 	base := rng.Split(s.seed, "expt:"+n.exp.Name)
 	for i := sr.lo; i < sr.hi; i++ {
 		// Units left after a budget crossing fail without running —
@@ -952,11 +1038,30 @@ func (s *Suite) runShard(n *node, env *Env) {
 			seed: rng.SplitN(base, "unit", i),
 			env:  env,
 		}
+		// Unit spans are keyed by unit index — never by shard — so the
+		// tree shape is identical for any -shards grouping. Fixed-width
+		// indices keep the export's path sort deterministic.
+		var us *trace.Span
+		if espan != nil {
+			us = espan.Child(fmt.Sprintf("unit:%06d", i), fmt.Sprintf("%s unit %d", n.exp.Name, i))
+			us.SetAttr("unit", i)
+			us.Begin()
+		}
 		val, err := runUnitProtected(n.exp.Part.Unit, sj)
 		// Charge the unit's measurement clones unconditionally; a unit
 		// whose measurement crossed the cap fails with the typed error.
 		if be := s.chargeActs(sj.acts()); err == nil && be != nil {
 			val, err = nil, error(be)
+		}
+		if us != nil {
+			k := us.Child("kernel", "kernel")
+			cnt, batches := sj.cost()
+			k.AddCounters(cnt)
+			k.AddBatches(batches)
+			if err != nil {
+				us.SetAttr("error", err.Error())
+			}
+			us.End()
 		}
 		// All clones are charged; return their devices to the pool so
 		// the next unit reuses them instead of reallocating.
@@ -1037,6 +1142,7 @@ func (s *Suite) plan(only []string, shards int) ([]*node, error) {
 			maxProbe[e.Needs.Device] = e.Needs.Probe
 		}
 	}
+	s.warmLevel = maxProbe
 
 	var nodes []*node
 	serial := make(map[*node]int) // creation order, for stable sorting

@@ -87,6 +87,12 @@ type Host struct {
 	nWR  atomic.Int64
 	nREF atomic.Int64
 
+	// nBatch counts batched kernel dispatches (execBatch column bursts
+	// and pulseTrain ACT trains) — how many sim.Batch bursts reached
+	// the chip, as opposed to the per-command totals above. Tracing
+	// attributes it to kernel spans.
+	nBatch atomic.Int64
+
 	// wbuf is the scratch pattern buffer the batched row writes reuse;
 	// safe because command issue is serialized (see counter comment).
 	wbuf []uint64
@@ -112,6 +118,10 @@ func (h *Host) Counters() Counters {
 		REF: h.nREF.Load(),
 	}
 }
+
+// Batches returns how many batched kernel bursts this host has
+// dispatched (see nBatch). Safe for concurrent use.
+func (h *Host) Batches() int64 { return h.nBatch.Load() }
 
 // count records n issued commands of one opcode.
 func (h *Host) count(op sim.Op, n int64) {
@@ -153,6 +163,7 @@ func (h *Host) execBatch(b sim.Batch, out []uint64) error {
 	b.Gap = trcd
 	h.at = b.End()
 	h.count(b.Op, int64(b.Count))
+	h.nBatch.Add(1)
 	return h.t.ExecBatch(b, out)
 }
 
@@ -368,6 +379,7 @@ func (h *Host) pulseTrain(bank, row, n int, tOn sim.Time) error {
 	}
 	h.count(sim.ACT, int64(n))
 	h.count(sim.PRE, int64(n))
+	h.nBatch.Add(1)
 	h.at = h.t.Now()
 	return nil
 }

@@ -3,10 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
 	"dramscope/internal/expt"
+	"dramscope/internal/trace"
 )
 
 // This file is the campaign half of the Manager: a campaign admits
@@ -24,6 +26,16 @@ type campaign struct {
 	runs      []*run // member runs, campaign order
 	client    string // quota identity of the admitting client
 	quotaCost int64  // campaign-level quota charge, released when it finishes
+
+	// rec and root are the campaign's own span tree: one "campaign"
+	// root with a "member:NNNNNN" child per spec. The trace ID is
+	// derived from the member digests, and each member run's recorder
+	// is linked under its member span — so GET /campaigns/{id}/trace
+	// stitches the campaign records and every member's records into one
+	// tree, local and federated members alike.
+	rec         *trace.Recorder
+	root        *trace.Span
+	memberSpans []*trace.Span
 
 	mu        sync.Mutex
 	changed   chan struct{} // closed and replaced on every state change
@@ -149,11 +161,28 @@ func (m *Manager) StartCampaign(req CampaignRequest, client string) (*campaign, 
 		state:     StateRunning,
 		lines:     make([][]byte, len(specs)),
 	}
-	opts := admitOpts{pinned: true, reserved: true, exemptQuota: true, client: client}
+	// The campaign trace is named by its member digests — the same
+	// derivation the CLI campaign layer uses, so an identical campaign
+	// has identical span IDs wherever it runs.
+	parts := make([]string, len(specs))
+	for i, rs := range specs {
+		parts[i] = rs.Digest()
+	}
+	c.rec = trace.New(trace.DeriveID(parts...))
+	c.root = c.rec.Root("campaign", fmt.Sprintf("campaign of %d members", len(specs))).Begin()
+	c.root.SetAttr("members", len(specs))
+
 	for i := range specs {
+		ms := c.root.Child(fmt.Sprintf("member:%06d", i),
+			fmt.Sprintf("member %s seed %d", specs[i].Profile, specs[i].Seed)).Begin()
+		ms.SetAttr("index", i).SetAttr("digest", specs[i].Digest()).
+			SetAttr("profile", specs[i].Profile).SetAttr("seed", specs[i].Seed)
+		c.memberSpans = append(c.memberSpans, ms)
 		// Members are admitted pinned: a warm campaign's members are
 		// terminal immediately, and retention must not evict them
 		// before the stream surfaces their run ids.
+		opts := admitOpts{pinned: true, reserved: true, exemptQuota: true, client: client,
+			link: &trace.Link{Trace: c.rec.TraceID(), Parent: ms.ID(), Path: ms.Path()}}
 		r, err := m.admitRun(specs[i], suites[i], opts)
 		if err != nil {
 			// Only ErrDraining can reach here (slots and quota are
@@ -198,6 +227,8 @@ func (m *Manager) watchCampaign(c *campaign, specs []*expt.ResolvedSpec) {
 	canceled := false
 	for i, r := range c.runs {
 		state, report, errMsg := waitTerminal(r)
+		c.memberSpans[i].SetAttr("state", state)
+		c.memberSpans[i].End()
 		results[i] = expt.CampaignRunResult{Index: i, Spec: specs[i], Report: report}
 		switch state {
 		case StateCanceled:
@@ -242,6 +273,8 @@ func (m *Manager) watchCampaign(c *campaign, specs []*expt.ResolvedSpec) {
 			state, report, errMsg = StateFailed, nil, err.Error()
 		}
 	}
+	c.root.SetAttr("state", state)
+	c.root.End()
 	c.mu.Lock()
 	if c.state == StateRunning {
 		c.state = state
@@ -250,6 +283,19 @@ func (m *Manager) watchCampaign(c *campaign, specs []*expt.ResolvedSpec) {
 	}
 	c.bump()
 	c.mu.Unlock()
+}
+
+// traceRecords assembles the stitched campaign tree: the campaign's
+// own records plus every member run's records (which, being linked
+// under the member spans, already carry coherent IDs and paths),
+// sorted by path.
+func (c *campaign) traceRecords() []trace.Record {
+	recs := c.rec.Records()
+	for _, r := range c.runs {
+		recs = append(recs, r.rec.Records()...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Path < recs[j].Path })
+	return recs
 }
 
 // waitTerminal blocks until a run leaves StateRunning and returns its

@@ -30,7 +30,17 @@ type Request struct {
 	Jobs           int      `json:"jobs,omitempty"`
 	Shards         int      `json:"shards,omitempty"`
 	MaxActivations int64    `json:"maxActivations,omitempty"`
+
+	// Trace, when non-empty, is sent as the X-Dramscope-Trace header so
+	// the worker roots its span subtree under the coordinator's dispatch
+	// span. It is a header, never a body field: the body feeds the
+	// canonical spec digest, which tracing must not perturb.
+	Trace string `json:"-"`
 }
+
+// TraceHeader is the propagation header name, mirrored from
+// internal/trace to keep this package free of server-side imports.
+const TraceHeader = "X-Dramscope-Trace"
 
 // Status is the subset of the run-status schema the dispatcher reads:
 // identity, terminal state, and the canonical-spec digest the
@@ -95,8 +105,8 @@ func (c *Client) client() *http.Client {
 
 // do round-trips one JSON request. Non-2xx responses come back as
 // *HTTPError with the body's error message; 2xx bodies decode into out
-// when non-nil.
-func (c *Client) do(ctx context.Context, method, path string, body, out interface{}) error {
+// when non-nil. hdr entries (may be nil) are set on the request.
+func (c *Client) do(ctx context.Context, method, path string, hdr map[string]string, body, out interface{}) error {
 	var rd io.Reader
 	if body != nil {
 		data, err := json.Marshal(body)
@@ -111,6 +121,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out interfac
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.client().Do(req)
 	if err != nil {
@@ -148,15 +161,19 @@ func newHTTPError(resp *http.Response) *HTTPError {
 // store hit and the returned status is already terminal; 202 means the
 // run executes and must be polled with Wait.
 func (c *Client) Start(ctx context.Context, req Request) (Status, error) {
+	var hdr map[string]string
+	if req.Trace != "" {
+		hdr = map[string]string{TraceHeader: req.Trace}
+	}
 	var st Status
-	err := c.do(ctx, http.MethodPost, "/runs", req, &st)
+	err := c.do(ctx, http.MethodPost, "/runs", hdr, req, &st)
 	return st, err
 }
 
 // Status fetches one run's current state.
 func (c *Client) Status(ctx context.Context, id string) (Status, error) {
 	var st Status
-	err := c.do(ctx, http.MethodGet, "/runs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/runs/"+id, nil, nil, &st)
 	return st, err
 }
 
@@ -205,14 +222,33 @@ func (c *Client) Report(ctx context.Context, id string) ([]byte, error) {
 	return io.ReadAll(io.LimitReader(resp.Body, maxReportBody))
 }
 
+// Trace fetches a finished run's span subtree as NDJSON bytes verbatim
+// (GET /runs/{id}/trace) — the records the coordinator grafts under its
+// dispatch span to stitch one federated tree.
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/runs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, newHTTPError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxReportBody))
+}
+
 // Cancel cancels a run on the worker (DELETE /runs/{id}), best effort.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	return c.do(ctx, http.MethodDelete, "/runs/"+id, nil, nil)
+	return c.do(ctx, http.MethodDelete, "/runs/"+id, nil, nil, nil)
 }
 
 // Healthy checks the worker's /healthz endpoint.
 func (c *Client) Healthy(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, nil)
 }
 
 // Capacity reads the worker's admission capacity — worker-pool size
@@ -226,7 +262,7 @@ func (c *Client) Capacity(ctx context.Context) (int, error) {
 			Workers  int `json:"workers"`
 		} `json:"queue"`
 	}
-	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &m); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, nil, &m); err != nil {
 		return 0, err
 	}
 	return m.Queue.Capacity + m.Queue.Workers, nil

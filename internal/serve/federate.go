@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"strings"
 	"sync"
@@ -11,6 +13,7 @@ import (
 
 	"dramscope/internal/expt"
 	"dramscope/internal/serve/dispatch"
+	"dramscope/internal/trace"
 )
 
 // This file is the coordinator half of federated campaigns: when the
@@ -163,6 +166,22 @@ const (
 	fedCanceled                   // the coordinator's own context was canceled
 )
 
+// String names a verdict for dispatch-span attributes.
+func (v fedVerdict) String() string {
+	switch v {
+	case fedOK:
+		return "ok"
+	case fedBusy:
+		return "busy"
+	case fedFault:
+		return "fault"
+	case fedTimeout:
+		return "timeout"
+	default:
+		return "canceled"
+	}
+}
+
 // Execute places one resolved spec on the fleet, retrying faulted and
 // timed-out attempts on other nodes, until a worker returns a
 // validated terminal result. errNoWorkers means every node is down,
@@ -172,7 +191,14 @@ const (
 // fault: by the determinism contract it fails identically everywhere,
 // so it is never retried.
 func (f *Federator) Execute(ctx context.Context, rs *expt.ResolvedSpec) (*remoteResult, error) {
+	// The caller's span (the run root, or a campaign member span) is
+	// the parent of every dispatch attempt. Each attempt gets its own
+	// "dispatch:NNNNNN" child carrying the worker, the verdict, and —
+	// on retries — a retry mark; the winning attempt grafts the
+	// worker's exported subtree underneath itself, stitching one tree.
+	parent := trace.FromContext(ctx)
 	tried := make(map[string]bool)
+	attempt := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -182,7 +208,15 @@ func (f *Federator) Execute(ctx context.Context, rs *expt.ResolvedSpec) (*remote
 			return nil, errNoWorkers
 		}
 		f.dispatched.Add(1)
-		res, verdict := f.runOn(ctx, w, rs)
+		d := parent.Child(fmt.Sprintf("dispatch:%06d", attempt), "dispatch "+w.url).Begin()
+		d.SetAttr("worker", w.url)
+		if attempt > 0 {
+			d.SetAttr("retry", attempt)
+		}
+		attempt++
+		res, verdict := f.runOn(ctx, w, rs, d)
+		d.SetAttr("verdict", verdict.String())
+		d.End()
 		f.done(w)
 		switch verdict {
 		case fedOK:
@@ -266,19 +300,28 @@ func (f *Federator) markDown(w *fedWorker) {
 	f.mu.Unlock()
 }
 
-// runOn runs one placement attempt on one worker end to end: start,
-// verify the digest, poll to a terminal state, fetch and validate the
-// report.
-func (f *Federator) runOn(ctx context.Context, w *fedWorker, rs *expt.ResolvedSpec) (*remoteResult, fedVerdict) {
+// runOn runs one placement attempt on one worker end to end: start
+// (carrying the trace link so the worker roots its subtree under the
+// dispatch span d), verify the digest, poll to a terminal state, fetch
+// and validate the report, then graft the worker's trace.
+func (f *Federator) runOn(ctx context.Context, w *fedWorker, rs *expt.ResolvedSpec, d *trace.Span) (*remoteResult, fedVerdict) {
 	seed := rs.Seed
-	st, err := w.client.Start(ctx, dispatch.Request{
+	req := dispatch.Request{
 		Profile:        rs.Profile,
 		Seed:           &seed,
 		Only:           rs.Only,
 		Jobs:           rs.Jobs,
 		Shards:         rs.Shards,
 		MaxActivations: rs.MaxActivations,
-	})
+	}
+	if d != nil && d.Recorder().TraceID() != "" {
+		req.Trace = trace.FormatHeader(trace.Link{
+			Trace:  d.Recorder().TraceID(),
+			Parent: d.ID(),
+			Path:   d.Path(),
+		})
+	}
+	st, err := w.client.Start(ctx, req)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, fedCanceled
@@ -349,6 +392,16 @@ func (f *Federator) runOn(ctx context.Context, w *fedWorker, rs *expt.ResolvedSp
 		// The bytes do not parse as this member's selection; refuse
 		// them outright.
 		return nil, fedFault
+	}
+	// Stitch: fetch the worker's span subtree and graft it under the
+	// dispatch span. Best effort — a worker without the trace endpoint
+	// (or a transient fetch error) costs observability, never a result.
+	if d != nil {
+		if data, terr := w.client.Trace(ctx, id); terr == nil {
+			if recs, perr := trace.ParseNDJSON(bytes.NewReader(data)); perr == nil {
+				d.Recorder().Graft(recs)
+			}
+		}
 	}
 	return &remoteResult{
 		state:   st.State,
@@ -429,7 +482,7 @@ func (m *Manager) startRemoteExec(ctx context.Context, r *run, suite *expt.Suite
 // back to a local execution, so a coordinator with no live workers
 // degrades to a plain dramscoped instead of wedging its campaigns.
 func (m *Manager) remoteExec(ctx context.Context, r *run, suite *expt.Suite) {
-	res, err := m.fed.Execute(ctx, r.spec)
+	res, err := m.fed.Execute(trace.NewContext(ctx, r.root), r.spec)
 	switch {
 	case err == nil:
 		m.completeRemote(r, res)

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
 
 	"dramscope/internal/expt"
+	"dramscope/internal/host"
 	"dramscope/internal/store"
+	"dramscope/internal/trace"
 )
 
 // Manager owns every run the server has accepted: it validates and
@@ -64,6 +67,23 @@ type Manager struct {
 	fed *Federator
 
 	metrics *metrics
+
+	// slowThreshold, when > 0, emits one structured NDJSON line to
+	// slowLog for every executed run whose admission-to-terminal wall
+	// time crosses it: digest, client, queue wait, execution wall, and
+	// probe cost — enough to tell "the box is saturated" from "this
+	// spec is expensive" without a debugger on the server.
+	slowThreshold time.Duration
+	slowLog       io.Writer
+
+	// traceW, when non-nil, receives every executed run's span tree as
+	// NDJSON when the run reaches a terminal state (-trace FILE on
+	// dramscoped).
+	traceW io.Writer
+
+	// obsMu serializes writes to slowLog and traceW — both are shared,
+	// line-oriented sinks written from execution goroutines.
+	obsMu sync.Mutex
 
 	// execWG tracks every background goroutine the manager owns —
 	// executions, flight watchers, campaign watchers — so Shutdown can
@@ -163,6 +183,13 @@ type run struct {
 	admitted  time.Time // for the run-latency histogram
 	quotaCost int64     // charge held against the client quota (0 = none)
 
+	// rec and root are the run's span tree: every admitted run records
+	// one, rooted at "run" (under the coordinator's dispatch span when
+	// the admission carried a trace link). The recorder has its own
+	// lock, so span calls never contend with r.mu.
+	rec  *trace.Recorder
+	root *trace.Span
+
 	mu        sync.Mutex
 	changed   chan struct{} // closed and replaced on every state change
 	cancel    context.CancelFunc
@@ -171,7 +198,9 @@ type run struct {
 	coalesced bool
 	state     string
 	completed int
-	lines     [][]byte // per-experiment NDJSON payloads, by report index
+	queueWait time.Duration // admission to worker-token acquisition
+	probeCost host.Counters // probe-chain commands this run's suite spent
+	lines     [][]byte      // per-experiment NDJSON payloads, by report index
 	report    []byte
 	errMsg    string
 	errKind   string
@@ -216,11 +245,18 @@ func (r *run) status(withReport bool) RunStatus {
 // ResolvedSpec), then admit. client is the requester's quota identity
 // (empty disables quota accounting for the call).
 func (m *Manager) Start(req RunRequest, client string) (*run, error) {
+	return m.StartTraced(req, client, nil)
+}
+
+// StartTraced admits one run request with an optional trace link — the
+// parsed X-Dramscope-Trace header of a coordinator's dispatch, which
+// roots this run's span subtree under the coordinator's tree.
+func (m *Manager) StartTraced(req RunRequest, client string, link *trace.Link) (*run, error) {
 	rs, suite, err := resolveRequest(req, m.factory)
 	if err != nil {
 		return nil, err
 	}
-	return m.admitRun(rs, suite, admitOpts{client: client})
+	return m.admitRun(rs, suite, admitOpts{client: client, link: link})
 }
 
 // admitOpts tunes admitRun for its two callers: interactive runs
@@ -238,6 +274,10 @@ type admitOpts struct {
 	exemptQuota bool
 	// client is the quota identity.
 	client string
+	// link, when non-nil, roots the run's span tree under a foreign
+	// trace: a coordinator's dispatch span (X-Dramscope-Trace) or a
+	// local campaign's member span.
+	link *trace.Link
 }
 
 // Admission-path outcomes, decided under m.mu in admitRun.
@@ -270,6 +310,17 @@ func (m *Manager) admitRun(rs *expt.ResolvedSpec, suite *expt.Suite, opts admitO
 		state:    StateRunning,
 		lines:    make([][]byte, len(rs.Names)),
 	}
+	// Every admitted run records a span tree. Solo runs name the trace
+	// by their canonical digest — the same identity the caches key by —
+	// so a re-run of the same spec produces the same span IDs; linked
+	// admissions adopt the foreign trace and extend its path.
+	if opts.link != nil {
+		r.rec = trace.NewLinked(*opts.link)
+	} else {
+		r.rec = trace.New(digest)
+	}
+	r.root = r.rec.Root("run", fmt.Sprintf("run %s seed %d", rs.Profile, rs.Seed)).Begin()
+	r.root.SetAttr("digest", digest).SetAttr("profile", rs.Profile).SetAttr("seed", rs.Seed)
 
 	var fl *flight
 	path := admitExec
@@ -281,11 +332,14 @@ func (m *Manager) admitRun(rs *expt.ResolvedSpec, suite *expt.Suite, opts admitO
 		r.completed = len(e.names)
 		r.lines = e.lines
 		r.report = e.report
+		r.root.SetAttr("cached", true)
+		r.root.End()
 	} else if f, ok := m.flights[digest]; ok {
 		path = admitCoalesced
 		m.metrics.coalesced.Add(1)
 		r.coalesced = true
 		r.suite = suite // retained: the failover suite if the leader cancels
+		r.root.SetAttr("coalesced", true)
 		f.addFollower(r)
 	} else {
 		if !opts.reserved {
@@ -375,6 +429,8 @@ func (r *run) completeFromEntry(e *cacheEntry) {
 	r.completed = len(e.names)
 	r.lines = e.lines
 	r.report = e.report
+	r.root.SetAttr("cached", true)
+	r.root.End()
 	r.bump()
 }
 
@@ -577,19 +633,26 @@ func (m *Manager) startExec(ctx context.Context, r *run, suite *expt.Suite) {
 // exec runs one admitted request to completion on the shared pool.
 func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 	defer m.finishExecution(r)
+	q := r.root.Child("queue", "queue").Begin()
 	m.metrics.waiting.Add(1)
 	workers := m.acquire(ctx, r.spec.Jobs)
 	m.metrics.waiting.Add(-1)
+	q.End()
+	r.mu.Lock()
+	r.queueWait = time.Since(r.admitted)
+	r.mu.Unlock()
 	if workers == 0 {
 		r.finish(StateCanceled, nil, context.Canceled.Error())
 		return
 	}
+	q.SetAttr("workers", workers)
 	m.metrics.running.Add(1)
 	defer func() {
 		m.release(workers)
 		m.metrics.running.Add(-1)
 	}()
 
+	ex := r.root.Child("execute", "execute").Begin()
 	spec := r.spec.RunSpec
 	spec.Jobs = workers
 	rep, err := suite.Run(expt.Options{
@@ -597,8 +660,13 @@ func (m *Manager) exec(ctx context.Context, r *run, suite *expt.Suite) {
 		Context:  ctx,
 		OnResult: r.onResult,
 		Store:    m.artifacts,
+		Trace:    ex,
 	})
+	ex.End()
 	m.metrics.addSuiteCost(suite.ProbeCost(), suite.ActivationsUsed())
+	r.mu.Lock()
+	r.probeCost = suite.ProbeCost()
+	r.mu.Unlock()
 	switch {
 	case err != nil:
 		// Planning/registration failure: nothing ran.
@@ -663,13 +731,53 @@ func (m *Manager) retryAfterSeconds() int {
 }
 
 // finishExecution returns one execution's bounded resources and
-// records its outcome and latency.
+// records its outcome, latency, trace, and (when slow) a slow-run log
+// line.
 func (m *Manager) finishExecution(r *run) {
 	m.releaseAdmission(r)
 	r.mu.Lock()
 	state := r.state
+	queueWait := r.queueWait
+	probe := r.probeCost
 	r.mu.Unlock()
-	m.metrics.observeExecution(state, time.Since(r.admitted))
+	wall := time.Since(r.admitted)
+	m.metrics.observeExecution(state, wall)
+
+	if m.slowThreshold > 0 && m.slowLog != nil && wall >= m.slowThreshold {
+		line, err := json.Marshal(SlowRunEvent{
+			Run:     r.id,
+			Digest:  r.spec.Digest(),
+			Client:  r.client,
+			State:   state,
+			QueueMS: float64(queueWait) / float64(time.Millisecond),
+			WallMS:  float64(wall) / float64(time.Millisecond),
+			Probe:   probe,
+		})
+		if err == nil {
+			m.obsMu.Lock()
+			m.slowLog.Write(append(line, '\n'))
+			m.obsMu.Unlock()
+		}
+	}
+	if m.traceW != nil {
+		m.obsMu.Lock()
+		trace.WriteNDJSON(m.traceW, r.rec.Records())
+		m.obsMu.Unlock()
+	}
+}
+
+// SlowRunEvent is the structured NDJSON line the slow-run log emits
+// (-slow-threshold): one line per executed run whose wall time crossed
+// the threshold, separating queue wait from execution and carrying the
+// probe cost the run actually spent.
+type SlowRunEvent struct {
+	Run     string        `json:"run"`
+	Digest  string        `json:"digest"`
+	Client  string        `json:"client,omitempty"`
+	State   string        `json:"state"`
+	QueueMS float64       `json:"queueMs"`
+	WallMS  float64       `json:"wallMs"`
+	Probe   host.Counters `json:"probe"`
 }
 
 // setErrKind records a machine-actionable failure classification.
@@ -710,6 +818,8 @@ func (r *run) finish(state string, report []byte, errMsg string) {
 	r.state = state
 	r.report = report
 	r.errMsg = errMsg
+	r.root.SetAttr("state", state)
+	r.root.End()
 	r.bump()
 }
 
@@ -759,6 +869,8 @@ func (m *Manager) cancelRun(id, reason string) (*run, bool) {
 		r.state = StateCanceled
 		r.errMsg = reason
 		r.suite = nil
+		r.root.SetAttr("state", StateCanceled)
+		r.root.End()
 		r.bump()
 	}
 	r.mu.Unlock()

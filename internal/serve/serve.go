@@ -25,14 +25,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"dramscope/internal/expt"
 	"dramscope/internal/store"
 	"dramscope/internal/topo"
+	"dramscope/internal/trace"
 )
 
 // Config configures a Server.
@@ -81,6 +84,17 @@ type Config struct {
 	// on expiry the member is canceled on its worker and re-dispatched
 	// to another node. 0 disables the timeout.
 	MemberTimeout time.Duration
+	// TraceWriter, when non-nil, receives every executed run's span
+	// tree as NDJSON when the run reaches a terminal state (-trace FILE
+	// on dramscoped). Writes are serialized by the manager.
+	TraceWriter io.Writer
+	// SlowThreshold, when > 0, emits one structured NDJSON line to
+	// SlowLog for every executed run whose admission-to-terminal wall
+	// time crosses it (-slow-threshold). See SlowRunEvent.
+	SlowThreshold time.Duration
+	// SlowLog is the slow-run log sink; nil disables slow-run logging
+	// even when SlowThreshold is set.
+	SlowLog io.Writer
 }
 
 // Server is the HTTP front-end. It implements http.Handler.
@@ -107,6 +121,9 @@ func New(cfg Config) *Server {
 	}
 	mgr.quota = newClientQuota(cfg.ClientQuota)
 	mgr.artifacts = cfg.Store
+	mgr.traceW = cfg.TraceWriter
+	mgr.slowThreshold = cfg.SlowThreshold
+	mgr.slowLog = cfg.SlowLog
 	if len(cfg.Workers) > 0 {
 		mgr.fed = NewFederator(FederationOptions{
 			Workers:       cfg.Workers,
@@ -132,12 +149,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /runs/{id}", s.handleCancelRun)
 	s.mux.HandleFunc("GET /runs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("POST /campaigns", s.handleCreateCampaign)
 	s.mux.HandleFunc("GET /campaigns", s.handleListCampaigns)
 	s.mux.HandleFunc("GET /campaigns/{id}", s.handleGetCampaign)
 	s.mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancelCampaign)
 	s.mux.HandleFunc("GET /campaigns/{id}/report", s.handleCampaignReport)
 	s.mux.HandleFunc("GET /campaigns/{id}/stream", s.handleCampaignStream)
+	s.mux.HandleFunc("GET /campaigns/{id}/trace", s.handleCampaignTrace)
 	return s
 }
 
@@ -223,9 +242,69 @@ func (s *Server) writeAdmissionError(w http.ResponseWriter, err error) {
 
 // handleMetrics serves the server's operational counters as plain JSON
 // (see Metrics for the schema and docs/api.md for the field
-// reference).
+// reference), or as Prometheus text exposition format when the client
+// asks for it with ?format=prometheus or an Accept: text/plain header.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" ||
+		strings.HasPrefix(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", prometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(s.mgr.PrometheusMetrics())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.mgr.Metrics())
+}
+
+// handleRunTrace serves a finished run's span tree: NDJSON (one
+// trace.Record per line) by default, Chrome trace-event JSON — the
+// format Perfetto and chrome://tracing load directly — with
+// ?format=chrome. 409 Conflict until the run reaches a terminal state,
+// so the exported tree is complete and stable.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.run(w, r)
+	if !ok {
+		return
+	}
+	run.mu.Lock()
+	state := run.state
+	run.mu.Unlock()
+	if state == StateRunning {
+		writeError(w, http.StatusConflict, "run %s is still %s", run.id, state)
+		return
+	}
+	writeTrace(w, r, run.rec.Records())
+}
+
+// handleCampaignTrace serves a finished campaign's stitched span tree —
+// the campaign's own spans plus every member run's subtree (including
+// dispatch spans and grafted worker-side records on a federated
+// coordinator) — in the same formats as handleRunTrace.
+func (s *Server) handleCampaignTrace(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	state := c.state
+	c.mu.Unlock()
+	if state == StateRunning {
+		writeError(w, http.StatusConflict, "campaign %s is still %s", c.id, state)
+		return
+	}
+	writeTrace(w, r, c.traceRecords())
+}
+
+// writeTrace renders records in the negotiated trace format.
+func writeTrace(w http.ResponseWriter, r *http.Request, recs []trace.Record) {
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		trace.WriteChrome(w, recs)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	trace.WriteNDJSON(w, recs)
 }
 
 // writeJSON writes v as an indented JSON body with the given status.
@@ -293,7 +372,16 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	run, err := s.mgr.Start(req, clientKey(r))
+	// A coordinator's dispatch carries X-Dramscope-Trace so this run's
+	// span subtree roots under the coordinator's dispatch span. The
+	// link travels as a header, never a body field — the body feeds the
+	// canonical spec digest, which tracing must not perturb. A
+	// malformed value is ignored: the run records an unlinked trace.
+	var link *trace.Link
+	if l, ok := trace.ParseHeader(r.Header.Get(trace.Header)); ok {
+		link = &l
+	}
+	run, err := s.mgr.StartTraced(req, clientKey(r), link)
 	if err != nil {
 		s.writeAdmissionError(w, err)
 		return

@@ -1,0 +1,27 @@
+package trace
+
+import "context"
+
+// Span propagation through layers whose signatures must not change
+// (expt.PlaceFunc, the federation dispatch path) rides on the
+// context. FromContext on a context without a span returns nil, which
+// every Span method accepts — so instrumented code never branches.
+
+type ctxKey struct{}
+
+// NewContext returns a context carrying the span.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the context's span, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,196 @@
+// Exporters and codecs: NDJSON (the wire and file format), the shape
+// form the determinism tests byte-compare, Chrome trace-event JSON for
+// Perfetto, and the X-Dramscope-Trace header that stitches federated
+// trees.
+
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteNDJSON writes records one JSON object per line.
+func WriteNDJSON(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		bw.Write(data)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// NDJSON renders records as one NDJSON byte slice.
+func NDJSON(recs []Record) []byte {
+	var buf bytes.Buffer
+	WriteNDJSON(&buf, recs)
+	return buf.Bytes()
+}
+
+// ShapeNDJSON renders records with the out-of-band timing fields
+// (StartUs, DurUs) dropped — the deterministic form: for a fixed spec
+// these bytes are identical for any -jobs, -shards, node count, or
+// placement. Determinism tests compare exactly these bytes.
+func ShapeNDJSON(recs []Record) []byte {
+	shape := make([]Record, len(recs))
+	for i, rec := range recs {
+		rec.StartUs, rec.DurUs = 0, 0
+		shape[i] = rec
+	}
+	return NDJSON(shape)
+}
+
+// maxTraceLine bounds one NDJSON record line; a span record is far
+// under 1 KiB, so 1 MiB refuses pathological input without limiting
+// anything legitimate.
+const maxTraceLine = 1 << 20
+
+// ParseNDJSON decodes an NDJSON record stream (blank lines tolerated).
+func ParseNDJSON(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxTraceLine)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return out, nil
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event, with
+// microsecond ts/dur). Perfetto and chrome://tracing load the
+// {"traceEvents": [...]} envelope directly.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	Ts   int64                  `json:"ts"`
+	Dur  int64                  `json:"dur"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome renders records as Chrome trace-event JSON. Timestamps
+// are rebased to the earliest span start; each second-level branch of
+// the tree (e.g. one experiment chain) gets its own tid so concurrent
+// spans land on separate tracks instead of overlapping.
+func WriteChrome(w io.Writer, recs []Record) error {
+	base := int64(-1)
+	for _, rec := range recs {
+		if rec.StartUs > 0 && (base < 0 || rec.StartUs < base) {
+			base = rec.StartUs
+		}
+	}
+	if base < 0 {
+		base = 0
+	}
+
+	// Stable tid assignment: sorted unique branch keys.
+	keys := map[string]bool{}
+	for _, rec := range recs {
+		keys[branchKey(rec.Path)] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	tid := make(map[string]int, len(sorted))
+	for i, k := range sorted {
+		tid[k] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(recs))
+	for _, rec := range recs {
+		ev := chromeEvent{
+			Name: rec.Name,
+			Cat:  "dramscope",
+			Ph:   "X",
+			Ts:   rec.StartUs - base,
+			Dur:  rec.DurUs,
+			Pid:  1,
+			Tid:  tid[branchKey(rec.Path)],
+		}
+		if rec.StartUs == 0 {
+			// Never-begun span (e.g. a cached run's root): pin at the
+			// base so it still shows up.
+			ev.Ts = 0
+		}
+		if ev.Dur < 1 {
+			ev.Dur = 1
+		}
+		args := map[string]interface{}{"path": rec.Path, "span": rec.Span}
+		if rec.Counters != nil {
+			args["counters"] = rec.Counters
+		}
+		if rec.Batches > 0 {
+			args["batches"] = rec.Batches
+		}
+		if len(rec.Attrs) > 0 {
+			args["attrs"] = rec.Attrs
+		}
+		ev.Args = args
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": events})
+}
+
+// branchKey groups a path onto a Chrome track: the first two path
+// components ("run", "run/expt:fig16", "campaign/member:000003").
+func branchKey(path string) string {
+	i := strings.Index(path, "/")
+	if i < 0 {
+		return path
+	}
+	j := strings.Index(path[i+1:], "/")
+	if j < 0 {
+		return path
+	}
+	return path[:i+1+j]
+}
+
+// Header is the HTTP header a coordinator sends with POST /runs to
+// root the worker's span subtree under its dispatch span. It is a
+// header rather than a body field so the request body — which feeds
+// the canonical spec digest — is untouched by tracing.
+const Header = "X-Dramscope-Trace"
+
+// FormatHeader renders a Link as the header value:
+// "<traceID> <parentSpanID> <parentPath>". Paths never contain
+// spaces, so the encoding is unambiguous.
+func FormatHeader(l Link) string {
+	return l.Trace + " " + l.Parent + " " + l.Path
+}
+
+// ParseHeader decodes a header value; ok is false for an absent or
+// malformed value (the worker then simply records an unlinked trace).
+func ParseHeader(v string) (Link, bool) {
+	parts := strings.Fields(v)
+	if len(parts) != 3 {
+		return Link{}, false
+	}
+	return Link{Trace: parts[0], Parent: parts[1], Path: parts[2]}, true
+}

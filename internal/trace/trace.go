@@ -1,0 +1,374 @@
+// Package trace is the repo's zero-dependency, span-based tracing
+// subsystem: one span tree per run, campaign, or probe session,
+// threaded from the campaign layer down to the sim.Batch kernel
+// bursts.
+//
+// The design inherits the repo's determinism contract. Span identity
+// is derived, not generated: a span's ID is a hash of (trace ID,
+// scheduler path), where the path names the span's position in the
+// tree ("run/expt:fig16/unit:000017/kernel"). Because the set of
+// paths is a pure function of the resolved spec — never of -jobs,
+// -shards, worker count, placement, or retries on the happy path —
+// the tree *shape* (IDs, parentage, names, attributes, counter
+// deltas) is byte-identical across every execution strategy.
+// Timestamps and durations are out-of-band, exactly like the stream
+// protocol's elapsedMs: they appear in exports but are excluded from
+// ShapeNDJSON, the form the determinism tests compare.
+//
+// Every method on Recorder and Span is safe on a nil receiver and
+// does nothing, so instrumented code paths cost one nil check when
+// tracing is off and never need to guard call sites.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dramscope/internal/host"
+)
+
+// DeriveID hashes an ordered list of identity parts into a trace ID.
+// Campaigns derive theirs from the member spec digests, solo runs use
+// the spec digest directly, and the probe CLI hashes (profile, seed).
+func DeriveID(parts ...string) string {
+	h := sha256.New()
+	for i, p := range parts {
+		if i > 0 {
+			h.Write([]byte{0})
+		}
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SpanID derives the deterministic span ID for a path within a trace:
+// the first 16 hex characters of SHA-256(traceID NUL path). Exposed so
+// tests and the federation layer can predict IDs without a Recorder.
+func SpanID(traceID, path string) string {
+	h := sha256.New()
+	h.Write([]byte(traceID))
+	h.Write([]byte{0})
+	h.Write([]byte(path))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Link names a position in a foreign trace that a new Recorder's root
+// spans should graft under — the wire form of the X-Dramscope-Trace
+// header a coordinator sends with POST /runs.
+type Link struct {
+	// Trace is the stitched trace's ID; the linked recorder adopts it.
+	Trace string
+	// Parent is the span ID of the coordinator-side parent (the
+	// dispatch span).
+	Parent string
+	// Path is the coordinator-side parent's path; the linked
+	// recorder's root spans extend it.
+	Path string
+}
+
+// Recorder owns one span tree (plus any grafted foreign subtrees) and
+// hands out spans. A nil Recorder is valid and records nothing.
+type Recorder struct {
+	mu      sync.Mutex
+	traceID string
+	parent  Link // zero unless NewLinked
+	spans   []*Span
+	grafted []Record
+}
+
+// New builds a recorder for a fresh trace. traceID may be empty at
+// construction and set later with SetTraceID — span IDs are derived
+// lazily, so a campaign can create its recorder before the member
+// digests that name the trace are known.
+func New(traceID string) *Recorder {
+	return &Recorder{traceID: traceID}
+}
+
+// NewLinked builds a recorder whose root spans are children of a span
+// in a foreign trace — how a worker roots its subtree under the
+// coordinator's dispatch span. The recorder adopts the linked trace
+// ID, so grafting its records back into the coordinator's tree needs
+// no rewriting.
+func NewLinked(link Link) *Recorder {
+	return &Recorder{traceID: link.Trace, parent: link}
+}
+
+// SetTraceID names the trace. It must be called before any span ID is
+// observed (export, Span.ID, header formatting); calling it later
+// would re-derive every ID. A nil recorder ignores it.
+func (r *Recorder) SetTraceID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traceID = id
+	r.mu.Unlock()
+}
+
+// TraceID returns the trace ID ("" on a nil recorder).
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
+}
+
+// Root opens a top-level span. component becomes the first path
+// element (plus the linked parent's path prefix, if any); name is the
+// human-readable label.
+func (r *Recorder) Root(component, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	path := component
+	if r.parent.Path != "" {
+		path = r.parent.Path + "/" + component
+	}
+	s := &Span{r: r, path: path, name: name, parentID: r.parent.Parent}
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// Graft appends foreign records — a worker's exported subtree —
+// verbatim. The worker derived its IDs from the same (trace ID, path)
+// scheme via NewLinked, so the records already cohere with this tree.
+func (r *Recorder) Graft(recs []Record) {
+	if r == nil || len(recs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.grafted = append(r.grafted, recs...)
+	r.mu.Unlock()
+}
+
+// Records snapshots the tree as export records, sorted by path. Path
+// components embed fixed-width numeric indices, so the sort — and
+// therefore every export — is deterministic regardless of the order
+// goroutines created or finished spans.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Record, 0, len(r.spans)+len(r.grafted))
+	for _, s := range r.spans {
+		out = append(out, s.recordLocked(r.traceID))
+	}
+	out = append(out, r.grafted...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Span is one node of the tree. A nil Span is valid and records
+// nothing; all methods are safe for concurrent use.
+type Span struct {
+	r        *Recorder
+	path     string
+	name     string
+	parentID string // non-empty only on linked roots
+
+	parent *Span // nil for roots
+
+	// Mutable state, guarded by r.mu.
+	attrs    []attr
+	counters host.Counters
+	batches  int64
+	start    time.Time
+	end      time.Time
+}
+
+type attr struct {
+	key string
+	val interface{}
+}
+
+// Recorder returns the owning recorder (nil on a nil span).
+func (s *Span) Recorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.r
+}
+
+// Path returns the span's scheduler path ("" on a nil span).
+func (s *Span) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// ID returns the span's derived ID. The trace ID must already be set.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return SpanID(s.r.TraceID(), s.path)
+}
+
+// Child opens a sub-span. component extends the path (it must not be
+// empty; embedded "/" from experiment names like "table3/MfrA-…" is
+// fine — paths are compared as whole strings, never split).
+func (s *Span) Child(component, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{r: s.r, path: s.path + "/" + component, name: name, parent: s}
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, c)
+	s.r.mu.Unlock()
+	return c
+}
+
+// Begin stamps the span's start time. It is idempotent — the first
+// call wins — so the first shard to reach a partitioned experiment
+// starts its span and later shards are no-ops.
+func (s *Span) Begin() *Span {
+	if s == nil {
+		return nil
+	}
+	s.r.mu.Lock()
+	if s.start.IsZero() {
+		s.start = time.Now()
+	}
+	s.r.mu.Unlock()
+	return s
+}
+
+// End stamps the span's end time (first call wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.r.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.r.mu.Unlock()
+}
+
+// SetAttr appends one attribute. Attribute order is insertion order
+// and must be deterministic at every call site (attrs are part of the
+// shape the determinism tests compare).
+func (s *Span) SetAttr(key string, val interface{}) *Span {
+	if s == nil {
+		return nil
+	}
+	s.r.mu.Lock()
+	s.attrs = append(s.attrs, attr{key, val})
+	s.r.mu.Unlock()
+	return s
+}
+
+// AddCounters folds a DRAM command-counter delta into the span — how
+// probe warm-up and kernel-burst cost is attributed per stage.
+func (s *Span) AddCounters(c host.Counters) {
+	if s == nil {
+		return
+	}
+	s.r.mu.Lock()
+	s.counters = s.counters.Add(c)
+	s.r.mu.Unlock()
+}
+
+// AddBatches folds a batched-kernel dispatch count into the span (the
+// number of sim.Batch bursts the stage issued).
+func (s *Span) AddBatches(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.r.mu.Lock()
+	s.batches += n
+	s.r.mu.Unlock()
+}
+
+// recordLocked snapshots the span as a Record. Caller holds r.mu.
+func (s *Span) recordLocked(traceID string) Record {
+	rec := Record{
+		Trace:   traceID,
+		Span:    SpanID(traceID, s.path),
+		Name:    s.name,
+		Path:    s.path,
+		Batches: s.batches,
+	}
+	switch {
+	case s.parent != nil:
+		rec.Parent = SpanID(traceID, s.parent.path)
+	case s.parentID != "":
+		rec.Parent = s.parentID
+	}
+	if len(s.attrs) > 0 {
+		rec.Attrs = marshalAttrs(s.attrs)
+	}
+	if s.counters != (host.Counters{}) {
+		c := s.counters
+		rec.Counters = &c
+	}
+	if !s.start.IsZero() {
+		rec.StartUs = s.start.UnixMicro()
+		if !s.end.IsZero() {
+			rec.DurUs = s.end.Sub(s.start).Microseconds()
+			if rec.DurUs < 1 {
+				rec.DurUs = 1
+			}
+		}
+	}
+	return rec
+}
+
+// marshalAttrs renders attributes as a JSON object preserving
+// insertion order (encoding/json would sort map keys, which is fine,
+// but insertion order keeps the output readable and the shape rule
+// simple: the attrs bytes are exactly what the call sites wrote).
+func marshalAttrs(attrs []attr) json.RawMessage {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range attrs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		k, _ := json.Marshal(a.key)
+		b.Write(k)
+		b.WriteByte(':')
+		v, err := json.Marshal(a.val)
+		if err != nil {
+			v, _ = json.Marshal(fmt.Sprintf("%v", a.val))
+		}
+		b.Write(v)
+	}
+	b.WriteByte('}')
+	return json.RawMessage(b.String())
+}
+
+// Record is one exported span — the NDJSON line schema. StartUs and
+// DurUs are the out-of-band timing fields; every other field is part
+// of the deterministic shape.
+type Record struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	// Attrs is the span's attribute object, preserved verbatim through
+	// parse/re-export round trips.
+	Attrs json.RawMessage `json:"attrs,omitempty"`
+	// Counters is the DRAM command cost attributed to this span.
+	Counters *host.Counters `json:"counters,omitempty"`
+	// Batches counts the sim.Batch kernel bursts the span issued.
+	Batches int64 `json:"batches,omitempty"`
+	// StartUs (Unix microseconds) and DurUs are wall-clock metadata:
+	// out-of-band, excluded from ShapeNDJSON.
+	StartUs int64 `json:"startUs,omitempty"`
+	DurUs   int64 `json:"durUs,omitempty"`
+}
