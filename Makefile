@@ -9,11 +9,15 @@
 #                  cold/warm suite wall time, campaign throughput;
 #                  BENCH_serve.json: serving-layer load test — latency
 #                  percentiles, coalesce rate, rejects)
-#   make bench-check - CI smoke gate: fail if the cold-suite ns/ACT
-#                  regressed more than 2x vs the committed snapshot,
+#   make bench-check - CI smoke gate: fail if the cold- or warm-suite
+#                  ns/ACT regressed more than 1.5x vs the committed
+#                  snapshot (GOMAXPROCS pinned to 1 on both sides),
 #                  if BENCH_serve.json records 5xx errors or zero
 #                  coalesced requests, or if tracing the cold suite
 #                  costs more than 5% wall time
+#   make bench-profile - capture a CPU profile of a warm suite run
+#                  (PROFILE_OUT, default bench.prof) for inspection
+#                  with `go tool pprof`
 #   make load    - hammer a self-hosted server with examples/loadgen
 #                  and print the ServeBench numbers (no files written)
 #   make suite   - run the concurrent experiment suite (all artifacts)
@@ -41,7 +45,7 @@ SUITE_FLAGS ?= -run all
 SERVE_FLAGS ?=
 STORE_DIR ?= dramscope-store
 
-.PHONY: build test race short bench bench-snapshot bench-check load suite serve vet golden campaign fleet clean-store
+.PHONY: build test race short bench bench-snapshot bench-check bench-profile load suite serve vet golden campaign fleet clean-store
 
 # The golden campaign population (mirrored by expt.GoldenCampaign and
 # asserted by TestGoldenCampaignReport): one representative device per
@@ -76,6 +80,18 @@ bench-snapshot:
 
 bench-check:
 	$(GO) run ./cmd/benchsnap -check
+
+# A CPU profile of the warm measurement path: populate a throwaway
+# store with one cold suite run, then profile the warm run that hits
+# the arena + flip-table kernels. CI uploads the profile as a
+# bench-smoke artifact so a regression comes with its own flame graph.
+PROFILE_OUT ?= bench.prof
+bench-profile:
+	set -e; dir=$$(mktemp -d /tmp/dramscope-profile-XXXXXX); \
+	trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/experiments -run all -store "$$dir" > /dev/null; \
+	$(GO) run ./cmd/experiments -run all -store "$$dir" -cpuprofile $(PROFILE_OUT) > /dev/null
+	@echo "wrote $(PROFILE_OUT); inspect with: $(GO) tool pprof $(PROFILE_OUT)"
 
 # LOAD_FLAGS passes through to examples/loadgen, e.g.
 #   make load LOAD_FLAGS='-duration 30s -clients 64 -hot 0.5'

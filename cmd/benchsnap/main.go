@@ -18,15 +18,19 @@
 // Usage:
 //
 //	benchsnap                      # refresh both snapshots in place
-//	benchsnap -check               # smoke mode: re-measure ns/ACT and
-//	                               # fail if it regressed more than
-//	                               # -threshold x vs BENCH_suite.json
+//	benchsnap -check               # smoke mode: re-measure cold and
+//	                               # warm ns/ACT and fail if either
+//	                               # regressed more than -threshold x
+//	                               # vs BENCH_suite.json
 //	benchsnap -check -threshold 3
 //
 // Absolute wall times are machine-dependent; the -check gate therefore
-// compares only the ns/ACT ratio and uses a deliberately generous
-// threshold (default 2x) so it trips on algorithmic regressions, not
-// on CI-runner jitter.
+// compares only ns/ACT ratios — cold (the batched command hot path)
+// and warm (the arena + flip-table measurement fast path) — against
+// the snapshot. The threshold (default 1.5x) trips on algorithmic
+// regressions, not CI-runner jitter; both measured runs and the
+// snapshot pin GOMAXPROCS (default 1) so the serial hot-path numbers
+// stay comparable across machines with different core counts.
 package main
 
 import (
@@ -52,6 +56,10 @@ type SuiteBench struct {
 	NsPerAct    float64 `json:"ns_per_act"`
 	ColdWallMS  int64   `json:"cold_wall_ms"`
 	WarmWallMS  int64   `json:"warm_wall_ms"`
+	// WarmNsPerAct is the warm run's wall time over its own metered
+	// activations — the per-activation cost once every probe artifact
+	// is cached and the suite goes straight to measurement.
+	WarmNsPerAct float64 `json:"warm_ns_per_act"`
 }
 
 // CampaignBench is the committed BENCH_campaign.json shape.
@@ -78,12 +86,16 @@ func main() {
 	suiteOut := flag.String("suite-out", "BENCH_suite.json", "suite snapshot path")
 	campaignOut := flag.String("campaign-out", "BENCH_campaign.json", "campaign snapshot path")
 	serveOut := flag.String("serve-out", "BENCH_serve.json", "serving snapshot path (written by examples/loadgen; -check validates it)")
-	check := flag.Bool("check", false, "re-measure the cold suite and fail on a gross ns/ACT regression vs -suite-out")
-	threshold := flag.Float64("threshold", 2.0, "-check fails when measured ns/ACT exceeds snapshot ns/ACT by this factor")
+	check := flag.Bool("check", false, "re-measure the cold and warm suite and fail on a gross ns/ACT regression vs -suite-out")
+	threshold := flag.Float64("threshold", 1.5, "-check fails when measured ns/ACT exceeds snapshot ns/ACT by this factor")
 	traceOverhead := flag.Float64("trace-overhead", 1.05, "-check fails when a traced cold suite is slower than the untraced one by this factor")
 	jobs := flag.Int("jobs", 1, "suite worker count for the measured runs (1 = the serial hot-path number)")
+	maxprocs := flag.Int("gomaxprocs", 1, "pin GOMAXPROCS for the measured runs (0 = leave the runtime default)")
 	flag.Parse()
 
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
 	if err := run(*suiteOut, *campaignOut, *serveOut, *check, *threshold, *traceOverhead, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
@@ -146,15 +158,11 @@ func coldSuite(jobs int, st *store.Store, root *trace.Span) (time.Duration, int6
 func measureSuite(jobs int, warm bool) (*SuiteBench, error) {
 	sb := &SuiteBench{Schema: 1, GoMaxProcs: runtime.GOMAXPROCS(0), Jobs: jobs, Shards: jobs}
 
-	dir, err := os.MkdirTemp("", "benchsnap-store-*")
+	st, cleanup, err := tempStore()
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
-	st, err := store.OpenDir(dir, false)
-	if err != nil {
-		return nil, err
-	}
+	defer cleanup()
 
 	// Cold: empty store, the run pays the full probe chain.
 	cold, acts, err := coldSuite(jobs, st, nil)
@@ -170,11 +178,14 @@ func measureSuite(jobs int, warm bool) (*SuiteBench, error) {
 	if warm {
 		// Warm: the store now holds every probe chain; the suite skips
 		// straight to measurement.
-		warmWall, _, err := coldSuite(jobs, st, nil)
+		warmWall, warmActs, err := coldSuite(jobs, st, nil)
 		if err != nil {
 			return nil, err
 		}
 		sb.WarmWallMS = warmWall.Milliseconds()
+		if warmActs > 0 {
+			sb.WarmNsPerAct = float64(warmWall.Nanoseconds()) / float64(warmActs)
+		}
 	}
 	return sb, nil
 }
@@ -216,10 +227,28 @@ func measureCampaign(jobs int) (*CampaignBench, error) {
 	return cb, nil
 }
 
-// checkSuite is the CI smoke gate: one cold suite run, compared
-// against the committed snapshot on the machine-portable ns/ACT
-// metric only. The measured untraced wall time is returned so the
-// trace-overhead gate can reuse it.
+// tempStore opens a throwaway probe-artifact store; the caller must
+// invoke cleanup.
+func tempStore() (st *store.Store, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "benchsnap-store-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err = store.OpenDir(dir, false)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return st, func() { os.RemoveAll(dir) }, nil
+}
+
+// checkSuite is the CI smoke gate: one cold suite run populating a
+// throwaway store, then one warm run against it, each compared against
+// the committed snapshot on its machine-portable ns/ACT metric. The
+// measured cold wall time is returned so the trace-overhead gate can
+// reuse it. The cold gate guards the batched command hot path; the
+// warm gate guards the measurement fast path — the arena, the flip
+// tables, and the allocation-free batch loop.
 func checkSuite(suiteOut string, threshold float64, jobs int) (time.Duration, error) {
 	data, err := os.ReadFile(suiteOut)
 	if err != nil {
@@ -233,7 +262,13 @@ func checkSuite(suiteOut string, threshold float64, jobs int) (time.Duration, er
 		return 0, fmt.Errorf("snapshot %s has no ns/ACT baseline", suiteOut)
 	}
 
-	cold, acts, err := coldSuite(jobs, nil, nil)
+	st, cleanup, err := tempStore()
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+
+	cold, acts, err := coldSuite(jobs, st, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -247,6 +282,25 @@ func checkSuite(suiteOut string, threshold float64, jobs int) (time.Duration, er
 		return 0, fmt.Errorf("hot path regressed: %.1f ns/ACT vs snapshot %.1f (more than %.1fx)",
 			got, want.NsPerAct, threshold)
 	}
+
+	// Snapshots written before the warm metric existed have no
+	// baseline to compare against; the cold gate still applies.
+	if want.WarmNsPerAct > 0 {
+		warmWall, warmActs, err := coldSuite(jobs, st, nil)
+		if err != nil {
+			return 0, err
+		}
+		if warmActs <= 0 {
+			return 0, fmt.Errorf("warm suite metered no activations")
+		}
+		warmGot := float64(warmWall.Nanoseconds()) / float64(warmActs)
+		fmt.Printf("warm ns/ACT: measured %.1f, snapshot %.1f (%.2fx, threshold %.1fx)\n",
+			warmGot, want.WarmNsPerAct, warmGot/want.WarmNsPerAct, threshold)
+		if warmGot > want.WarmNsPerAct*threshold {
+			return 0, fmt.Errorf("warm measurement path regressed: %.1f ns/ACT vs snapshot %.1f (more than %.1fx)",
+				warmGot, want.WarmNsPerAct, threshold)
+		}
+	}
 	return cold, nil
 }
 
@@ -256,9 +310,16 @@ func checkSuite(suiteOut string, threshold float64, jobs int) (time.Duration, er
 // Span creation is per-unit, not per-command, so the real ratio is
 // ~1.00; the gate's margin absorbs run-to-run jitter.
 func checkTraceOverhead(untraced time.Duration, factor float64, jobs int) error {
+	// The traced run gets its own empty store so it pays the same cold
+	// probe chain and artifact writes as the untraced baseline.
+	st, cleanup, err := tempStore()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	rec := trace.New(trace.DeriveID("benchsnap", "trace-overhead"))
 	root := rec.Root("run", "benchsnap traced cold suite").Begin()
-	traced, _, err := coldSuite(jobs, nil, root)
+	traced, _, err := coldSuite(jobs, st, root)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,187 @@
+package chip
+
+import (
+	"math"
+	"math/bits"
+
+	"dramscope/internal/sim"
+)
+
+// This file holds the bank's memory arena and the per-wordline
+// flip-threshold caches.
+//
+// # Arena
+//
+// Row state lives in per-bank chunked arenas instead of one heap
+// allocation per touched wordline: rowState records come from
+// stateChunks and every record's charge words are a sub-slice of the
+// matching slabChunks entry. Chunks are appended, never reallocated,
+// so *rowState pointers stay stable for the chip's lifetime; Reset
+// recycles records by clearing the used slab prefix (a handful of
+// memclears) and handing slots out again in order. Besides making
+// Reset cheap, the slab keeps the charge words of consecutively
+// touched rows contiguous, which is what the retention-scan, RowCopy,
+// and RD/WR gather/scatter kernels walk.
+//
+// # Flip-threshold tables
+//
+// Every per-cell quantity the fault model draws — the hammer and press
+// uniforms, the retention deadline — is a pure function of
+// (seed, bank, wl, x). The tables cache those draws per wordline so a
+// re-materialized row never recomputes them; because clones of an Env
+// share the chip seed, the tables legitimately survive Reset and
+// amortize across every pooled measurement. The cached values are
+// produced by the very same Params calls the scalar path makes
+// (HammerU/PressU/RetentionTime), so decisions taken through them are
+// bit-identical to the uncached path.
+
+// arenaChunkRows is the rowState capacity of one arena chunk. Chunks
+// are small enough that a sparsely used bank wastes little and large
+// enough that Reset is a handful of memclears, not thousands.
+const arenaChunkRows = 64
+
+// flipTabMargin pads the conservative per-cell stress bound used to
+// skip non-candidate cells. The true per-cell stress is bounded by
+// delta * MaxFactor up to a few ULPs of float rounding; the margin is
+// many orders of magnitude wider than that, and still far too small to
+// admit spurious candidates in practice.
+const flipTabMargin = 1 + 1e-9
+
+// uTab caches a wordline's per-cell hammer/press uniform draws plus
+// per-64-cell-word minima, so materialize can skip whole words whose
+// best draw cannot beat the accumulated stress.
+type uTab struct {
+	hamU, prsU       []float64 // per-cell draws, x-indexed
+	hamMinW, prsMinW []float64 // per-word minima of the above
+}
+
+// retTab caches a wordline's per-cell retention deadlines with
+// per-word minima: a retention scan compares elapsed time against the
+// word minimum and only walks cells in words that can decay at all.
+type retTab struct {
+	deadline []sim.Time
+	minW     []sim.Time
+}
+
+// rowStateFor returns (creating lazily) the state of a wordline
+// WITHOUT materializing pending faults. Callers on the access path
+// must use materialize instead.
+func (c *Chip) rowStateFor(b *bank, wl int) *rowState {
+	rs := b.rows[wl]
+	if rs == nil {
+		ci, ri := b.inUse/arenaChunkRows, b.inUse%arenaChunkRows
+		if ci == len(b.stateChunks) {
+			b.stateChunks = append(b.stateChunks, make([]rowState, arenaChunkRows))
+			b.slabChunks = append(b.slabChunks, make([]uint64, arenaChunkRows*c.words))
+		}
+		rs = &b.stateChunks[ci][ri]
+		slab := b.slabChunks[ci]
+		// The charge words were cleared by Reset (or are fresh), so
+		// only the snapshot metadata needs zeroing.
+		*rs = rowState{charge: slab[ri*c.words : (ri+1)*c.words : (ri+1)*c.words]}
+		b.inUse++
+		b.rows[wl] = rs
+		b.touched = append(b.touched, int32(wl))
+	}
+	return rs
+}
+
+// resetArena recycles a bank's row state: the used slab prefix is
+// cleared (at most one memclear per chunk in use) and every slot
+// becomes available again.
+func (b *bank) resetArena(words int) {
+	full, rem := b.inUse/arenaChunkRows, b.inUse%arenaChunkRows
+	for i := 0; i < full; i++ {
+		clear(b.slabChunks[i])
+	}
+	if rem > 0 {
+		clear(b.slabChunks[full][:rem*words])
+	}
+	b.inUse = 0
+}
+
+// uTabFor returns the wordline's cached uniform draws, building them
+// on first use. Building costs one HammerU+PressU sweep — no more than
+// the scalar pass it replaces spends on draws — and pays for itself on
+// the same materialize via the word-minima skip.
+func (c *Chip) uTabFor(bankID int, b *bank, wl int) *uTab {
+	tb := b.uTabs[wl]
+	if tb != nil {
+		return tb
+	}
+	n := c.prof.RowBits
+	tb = &uTab{
+		hamU:    make([]float64, n),
+		prsU:    make([]float64, n),
+		hamMinW: make([]float64, c.words),
+		prsMinW: make([]float64, c.words),
+	}
+	for w := 0; w < c.words; w++ {
+		hmin, pmin := math.Inf(1), math.Inf(1)
+		base := w << 6
+		for i := 0; i < 64; i++ {
+			x := base + i
+			hu := c.fp.HammerU(bankID, wl, x)
+			pu := c.fp.PressU(bankID, wl, x)
+			tb.hamU[x], tb.prsU[x] = hu, pu
+			if hu < hmin {
+				hmin = hu
+			}
+			if pu < pmin {
+				pmin = pu
+			}
+		}
+		tb.hamMinW[w], tb.prsMinW[w] = hmin, pmin
+	}
+	b.uTabs[wl] = tb
+	return tb
+}
+
+// retTabFor returns the wordline's cached retention deadlines, or nil
+// while the wordline is still cold. Deadlines are log-uniform draws —
+// by far the most expensive per-cell quantity — so the table is built
+// eagerly only when it pays for itself: on the first scan of a row
+// with mostly charged cells (the build costs about what the on-demand
+// scan would), or on the second scan of any row. Sparse once-scanned
+// rows — probe samples, incidental reads — stay on the cheaper
+// on-demand path.
+func (c *Chip) retTabFor(bankID int, b *bank, wl int, dense bool) *retTab {
+	rt := b.retTabs[wl]
+	if rt != nil {
+		return rt
+	}
+	if !dense && b.retSeen[wl] == 0 {
+		b.retSeen[wl] = 1
+		return nil
+	}
+	rt = &retTab{
+		deadline: make([]sim.Time, c.prof.RowBits),
+		minW:     make([]sim.Time, c.words),
+	}
+	for w := 0; w < c.words; w++ {
+		min := sim.Time(math.MaxInt64)
+		base := w << 6
+		for i := 0; i < 64; i++ {
+			x := base + i
+			d := c.fp.RetentionTime(bankID, wl, x)
+			rt.deadline[x] = d
+			if d < min {
+				min = d
+			}
+		}
+		rt.minW[w] = min
+	}
+	b.retTabs[wl] = rt
+	return rt
+}
+
+// denseCharge reports whether at least half the row's cells hold
+// charge — the break-even point past which building the retention
+// deadline table outright costs no more than one on-demand scan.
+func (c *Chip) denseCharge(rs *rowState) bool {
+	n := 0
+	for _, w := range rs.charge {
+		n += bits.OnesCount64(w)
+	}
+	return 2*n >= c.prof.RowBits
+}

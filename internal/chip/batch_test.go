@@ -205,6 +205,19 @@ func TestResetEquivalentToFresh(t *testing.T) {
 	if dirty.c.Now() != fresh.c.Now() {
 		t.Fatalf("reset chip time %v, fresh chip %v", dirty.c.Now(), fresh.c.Now())
 	}
+
+	// Second cycle: by now the chip has cached flip-threshold and
+	// retention-deadline tables for the scenario's wordlines. A Reset
+	// keeps those tables (the draws are pure functions of the seed), so
+	// the fully warm replay must still match a fresh chip bit for bit.
+	dirty.c.Reset()
+	dirty.at = 0
+	warm := scenario(dirty)
+	for i := range want {
+		if want[i] != warm[i] {
+			t.Fatalf("col %d: warm-table reset chip read %#x, fresh chip %#x", i, warm[i], want[i])
+		}
+	}
 }
 
 func TestExecBatchRejects(t *testing.T) {

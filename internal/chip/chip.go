@@ -67,6 +67,12 @@ type Chip struct {
 	// burst bit: the column swizzle flattened into a lookup table so
 	// the RD/WR kernels do no per-bit arithmetic.
 	physTab [][]int32
+
+	// flipMask is materialize's scratch row of pending flip words:
+	// flips are collected per word and applied only after the whole
+	// row is scanned, because a cell's neighborhood reads the pre-flip
+	// charges of adjacent cells.
+	flipMask []uint64
 }
 
 type bank struct {
@@ -79,13 +85,26 @@ type bank struct {
 
 	// Per-wordline bookkeeping, dense-indexed by physical wordline.
 	// touched lists the wordlines holding state (insertion order), so
-	// refresh and Reset walk only what was used; free recycles row
-	// state between Reset cycles instead of reallocating.
+	// refresh and Reset walk only what was used.
 	rows    []*rowState
 	acts    []int64   // cumulative activations per wordline
 	press   []float64 // cumulative over-tRAS on-time per wordline (ps)
 	touched []int32
-	free    []*rowState
+
+	// Chunked row-state arena (see arena.go): records and their charge
+	// slabs are handed out in touch order and recycled wholesale by
+	// Reset. inUse counts records handed out since the last Reset.
+	stateChunks [][]rowState
+	slabChunks  [][]uint64
+	inUse       int
+
+	// Flip-threshold caches, dense-indexed by physical wordline. The
+	// cached draws are pure in (seed, bank, wl), so they survive Reset
+	// (see arena.go). retSeen marks wordlines whose charge one
+	// retention scan already walked — the build trigger for retTabs.
+	uTabs   []*uTab
+	retTabs []*retTab
+	retSeen []uint8
 
 	wlActs int64 // wordlines driven (edge rows count twice): energy proxy
 }
@@ -121,15 +140,23 @@ func New(prof topo.Profile, seed uint64) (*Chip, error) {
 		maxPressF:  fp.MaxPressFactor(),
 		retMin:     sim.Time(fp.RetentionMinSec * float64(sim.Second)),
 	}
+	if prof.RowBits%64 != 0 {
+		return nil, fmt.Errorf("chip: RowBits %d is not word-aligned", prof.RowBits)
+	}
+	c.flipMask = make([]uint64, c.words)
 	physRows := t.PhysRows()
 	for i := 0; i < prof.Banks; i++ {
 		c.banks = append(c.banks, &bank{
 			openWL:  -1,
 			latchWL: -1,
 			lastPre: math.MinInt64 / 2,
+			latch:   make([]uint64, c.words),
 			rows:    make([]*rowState, physRows),
 			acts:    make([]int64, physRows),
 			press:   make([]float64, physRows),
+			uTabs:   make([]*uTab, physRows),
+			retTabs: make([]*retTab, physRows),
+			retSeen: make([]uint8, physRows),
 		})
 	}
 	c.physTab = make([][]int32, cm.Halves())
@@ -156,10 +183,12 @@ func MustNew(prof topo.Profile, seed uint64) *Chip {
 
 // Reset restores the chip to its power-on state — simulated time zero,
 // all banks precharged, every cell discharged — while keeping the
-// topology, swizzle tables, and row-state buffers for reuse. A Reset
-// chip is indistinguishable from a freshly built one with the same
-// profile and seed (asserted by tests); Env clone pooling is built on
-// this.
+// topology, swizzle tables, row-state arenas, and flip-threshold
+// caches for reuse. A Reset chip is indistinguishable from a freshly
+// built one with the same profile and seed (asserted by tests); Env
+// clone pooling is built on this. The flip-threshold caches may
+// legally survive because every cached value is a pure function of
+// (seed, bank, wl, x), all of which Reset preserves.
 func (c *Chip) Reset() {
 	c.now = 0
 	for _, b := range c.banks {
@@ -170,13 +199,12 @@ func (c *Chip) Reset() {
 		b.latchWL = -1
 		b.wlActs = 0
 		for _, wl := range b.touched {
-			rs := b.rows[wl]
 			b.rows[wl] = nil
 			b.acts[wl] = 0
 			b.press[wl] = 0
-			b.free = append(b.free, rs)
 		}
 		b.touched = b.touched[:0]
+		b.resetArena(c.words)
 	}
 }
 
@@ -401,9 +429,6 @@ func (c *Chip) precharge(bankID int, t sim.Time) error {
 	}
 	// Latch the bitline state for a potential RowCopy.
 	rs := c.rowStateFor(b, wl)
-	if b.latch == nil {
-		b.latch = make([]uint64, c.words)
-	}
 	copy(b.latch, rs.charge)
 	b.latchWL = wl
 	b.lastPre = t
@@ -606,9 +631,6 @@ func (c *Chip) pulse(bankID, row, n int, tOn, tGap sim.Time) error {
 		b.press[wl] += float64(over) * float64(n)
 	}
 	end := c.now + sim.Time(n)*(tOn+tGap)
-	if b.latch == nil {
-		b.latch = make([]uint64, c.words)
-	}
 	copy(b.latch, rs.charge)
 	b.latchWL = wl
 	b.lastPre = end
@@ -617,26 +639,6 @@ func (c *Chip) pulse(bankID, row, n int, tOn, tGap sim.Time) error {
 }
 
 // --- fault materialization ---
-
-// rowStateFor returns (creating lazily) the state of a wordline
-// WITHOUT materializing pending faults. Callers on the access path
-// must use materialize instead.
-func (c *Chip) rowStateFor(b *bank, wl int) *rowState {
-	rs := b.rows[wl]
-	if rs == nil {
-		if n := len(b.free); n > 0 {
-			rs = b.free[n-1]
-			b.free = b.free[:n-1]
-			clear(rs.charge)
-			*rs = rowState{charge: rs.charge}
-		} else {
-			rs = &rowState{charge: make([]uint64, c.words)}
-		}
-		b.rows[wl] = rs
-		b.touched = append(b.touched, int32(wl))
-	}
-	return rs
-}
 
 // materialize applies all pending fault effects (hammer, press,
 // retention) to a wordline and re-snapshots it as restored at time t.
@@ -699,7 +701,7 @@ func (c *Chip) applyFaults(bankID int, b *bank, rs *rowState, wl int, t sim.Time
 		// charged cells, so scan the charge words and skip the empty
 		// ones — the common case for rows touched long after their
 		// last restore but never hammered.
-		c.applyRetention(bankID, rs, wl, elapsed)
+		c.applyRetention(bankID, b, rs, wl, elapsed)
 		return
 	}
 	// A mechanism whose accumulated stress is below its floor cannot
@@ -726,97 +728,184 @@ func (c *Chip) applyFaults(bankID int, b *bank, rs *rowState, wl int, t sim.Time
 	}
 	edge := c.topo.IsEdgeSubarray(c.topo.SubarrayOf(wl))
 
-	neighborTri := func(charges []uint64, x int) faults.Tri {
-		if charges == nil {
-			return 0 // unwritten rows are discharged
-		}
-		return faults.TriOf(getBit(charges, x))
+	// Candidate screening: a cell can only flip under a mechanism if
+	// its cached uniform draw beats the probability its maximum
+	// possible stress implies. The accumulated per-cell stress is
+	// bounded by delta * MaxFactor (the same invariant the hammerOn/
+	// pressOn gates rest on), widened by flipTabMargin to absorb float
+	// rounding, so screening never drops a cell the scalar decision
+	// would flip. Whole words whose minimum draw misses the bound are
+	// skipped without touching their cells.
+	tab := c.uTabFor(bankID, b, wl)
+	var hCand, pCand float64
+	if hammerOn {
+		hCand = c.fp.HammerBaseP * (float64(dUpActs+dDownActs) * c.maxHammerF * flipTabMargin) / c.fp.HammerN0
+	}
+	if pressOn {
+		pCand = c.fp.PressBaseP * ((dUpPress + dDownPress) * c.maxPressF * flipTabMargin) / c.fp.PressS0
 	}
 
-	var flips []int
-	for x := 0; x < c.prof.RowBits; x++ {
-		charged := getBit(rs.charge, x)
-		flip := false
+	// Retention runs against the cached deadlines once the wordline has
+	// been scanned before; until then the draws happen on demand,
+	// exactly as the scalar path would.
+	retLive := elapsed > 0
+	var rt *retTab
+	rtReady := false
 
-		// Retention decay first: cheapest test.
-		if charged && c.fp.RetentionFlips(bankID, wl, x, true, elapsed) {
-			flip = true
+	fm := c.flipMask
+	any := false
+	for w := 0; w < c.words; w++ {
+		var flips uint64
+		cw := rs.charge[w]
+		if retLive && cw != 0 {
+			if !rtReady {
+				rtReady = true
+				rt = c.retTabFor(bankID, b, wl, c.denseCharge(rs))
+			}
+			if rt != nil {
+				if elapsed > rt.minW[w] {
+					for m := cw; m != 0; m &= m - 1 {
+						if elapsed > rt.deadline[w<<6|bits.TrailingZeros64(m)] {
+							flips |= m & -m
+						}
+					}
+				}
+			} else {
+				for m := cw; m != 0; m &= m - 1 {
+					x := w<<6 | bits.TrailingZeros64(m)
+					if c.fp.RetentionFlips(bankID, wl, x, true, elapsed) {
+						flips |= m & -m
+					}
+				}
+			}
 		}
-
-		if !flip && (dUpActs > 0 || dDownActs > 0 || dUpPress > 0 || dDownPress > 0) {
-			n := faults.Neighborhood{WL: wl, BL: x, Charged: charged, Edge: edge}
-			for d := -2; d <= 2; d++ {
-				xx := x + d
-				if xx < 0 || xx >= c.prof.RowBits || !c.cmap.SameMAT(x, xx) {
-					n.Vic[2+d] = faults.Absent
-					n.Aggr[2+d] = faults.Absent
+		if (hammerOn && tab.hamMinW[w] < hCand) || (pressOn && tab.prsMinW[w] < pCand) {
+			base := w << 6
+			for i := 0; i < 64; i++ {
+				bit := uint64(1) << uint(i)
+				if flips&bit != 0 {
+					continue // retention already flipped it
+				}
+				x := base + i
+				if !(tab.hamU[x] < hCand || tab.prsU[x] < pCand) {
 					continue
 				}
-				n.Vic[2+d] = faults.TriOf(getBit(rs.charge, xx))
-				n.Aggr[2+d] = faults.Absent
-			}
-
-			var hammerStress, pressStress float64
-			if dUpActs > 0 || dUpPress > 0 {
-				nu := n
-				nu.Dir = geom.Upper
-				for d := -2; d <= 2; d++ {
-					if nu.Vic[2+d] != faults.Absent {
-						nu.Aggr[2+d] = neighborTri(upCharge, x+d)
-					}
+				hs, ps := c.cellStress(rs, wl, x,
+					dUpActs, dDownActs, dUpPress, dDownPress,
+					upCharge, downCharge, edge)
+				if hs > 0 && c.fp.HammerFlipsU(tab.hamU[x], hs) {
+					flips |= bit
+				} else if ps > 0 && c.fp.PressFlipsU(tab.prsU[x], ps) {
+					flips |= bit
 				}
-				if dUpActs > 0 {
-					hammerStress += float64(dUpActs) * c.fp.HammerFactor(nu)
-				}
-				if dUpPress > 0 {
-					pressStress += dUpPress * c.fp.PressFactor(nu)
-				}
-			}
-			if dDownActs > 0 || dDownPress > 0 {
-				nd := n
-				nd.Dir = geom.Lower
-				for d := -2; d <= 2; d++ {
-					if nd.Vic[2+d] != faults.Absent {
-						nd.Aggr[2+d] = neighborTri(downCharge, x+d)
-					}
-				}
-				if dDownActs > 0 {
-					hammerStress += float64(dDownActs) * c.fp.HammerFactor(nd)
-				}
-				if dDownPress > 0 {
-					pressStress += dDownPress * c.fp.PressFactor(nd)
-				}
-			}
-			if hammerStress > 0 && c.fp.HammerFlips(bankID, wl, x, hammerStress) {
-				flip = true
-			}
-			if !flip && pressStress > 0 && c.fp.PressFlips(bankID, wl, x, pressStress) {
-				flip = true
 			}
 		}
-
-		if flip {
-			flips = append(flips, x)
+		fm[w] = flips
+		if flips != 0 {
+			any = true
 		}
 	}
-	for _, x := range flips {
-		setBit(rs.charge, x, !getBit(rs.charge, x))
+	if any {
+		for w, m := range fm {
+			rs.charge[w] ^= m
+		}
 	}
 }
 
+// cellStress accumulates the hammer and press stress on one cell from
+// both aggressor directions — the per-cell core of the fault model.
+// It is the single implementation behind both the candidate-screened
+// kernel above and the definition the equivalence tests replay, so the
+// float accumulation order can never diverge between them.
+func (c *Chip) cellStress(rs *rowState, wl, x int,
+	dUpActs, dDownActs int64, dUpPress, dDownPress float64,
+	upCharge, downCharge []uint64, edge bool) (hammerStress, pressStress float64) {
+
+	charged := getBit(rs.charge, x)
+	n := faults.Neighborhood{WL: wl, BL: x, Charged: charged, Edge: edge}
+	for d := -2; d <= 2; d++ {
+		xx := x + d
+		if xx < 0 || xx >= c.prof.RowBits || !c.cmap.SameMAT(x, xx) {
+			n.Vic[2+d] = faults.Absent
+			n.Aggr[2+d] = faults.Absent
+			continue
+		}
+		n.Vic[2+d] = faults.TriOf(getBit(rs.charge, xx))
+		n.Aggr[2+d] = faults.Absent
+	}
+
+	if dUpActs > 0 || dUpPress > 0 {
+		nu := n
+		nu.Dir = geom.Upper
+		for d := -2; d <= 2; d++ {
+			if nu.Vic[2+d] != faults.Absent {
+				nu.Aggr[2+d] = neighborTri(upCharge, x+d)
+			}
+		}
+		if dUpActs > 0 {
+			hammerStress += float64(dUpActs) * c.fp.HammerFactor(nu)
+		}
+		if dUpPress > 0 {
+			pressStress += dUpPress * c.fp.PressFactor(nu)
+		}
+	}
+	if dDownActs > 0 || dDownPress > 0 {
+		nd := n
+		nd.Dir = geom.Lower
+		for d := -2; d <= 2; d++ {
+			if nd.Vic[2+d] != faults.Absent {
+				nd.Aggr[2+d] = neighborTri(downCharge, x+d)
+			}
+		}
+		if dDownActs > 0 {
+			hammerStress += float64(dDownActs) * c.fp.HammerFactor(nd)
+		}
+		if dDownPress > 0 {
+			pressStress += dDownPress * c.fp.PressFactor(nd)
+		}
+	}
+	return hammerStress, pressStress
+}
+
+func neighborTri(charges []uint64, x int) faults.Tri {
+	if charges == nil {
+		return 0 // unwritten rows are discharged
+	}
+	return faults.TriOf(getBit(charges, x))
+}
+
 // applyRetention clears the charged cells whose retention time the
-// elapsed interval exceeds. Word-packed: zero charge words — the vast
-// majority on sparsely written rows — cost one compare.
-func (c *Chip) applyRetention(bankID int, rs *rowState, wl int, elapsed sim.Time) {
+// elapsed interval exceeds. Word-packed twice over: zero charge words
+// — the vast majority on sparsely written rows — cost one compare, and
+// once the wordline's deadline table exists, words whose earliest
+// deadline lies beyond the elapsed interval cost one more.
+func (c *Chip) applyRetention(bankID int, b *bank, rs *rowState, wl int, elapsed sim.Time) {
+	var rt *retTab
+	rtReady := false
 	for w, word := range rs.charge {
 		if word == 0 {
 			continue
 		}
+		if !rtReady {
+			rtReady = true
+			rt = c.retTabFor(bankID, b, wl, c.denseCharge(rs))
+		}
 		var cleared uint64
-		for m := word; m != 0; m &= m - 1 {
-			x := w<<6 | bits.TrailingZeros64(m)
-			if c.fp.RetentionFlips(bankID, wl, x, true, elapsed) {
-				cleared |= m & -m
+		if rt != nil {
+			if elapsed <= rt.minW[w] {
+				continue
+			}
+			for m := word; m != 0; m &= m - 1 {
+				if elapsed > rt.deadline[w<<6|bits.TrailingZeros64(m)] {
+					cleared |= m & -m
+				}
+			}
+		} else {
+			for m := word; m != 0; m &= m - 1 {
+				x := w<<6 | bits.TrailingZeros64(m)
+				if c.fp.RetentionFlips(bankID, wl, x, true, elapsed) {
+					cleared |= m & -m
+				}
 			}
 		}
 		rs.charge[w] = word &^ cleared

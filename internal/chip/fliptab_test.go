@@ -1,0 +1,198 @@
+package chip
+
+import (
+	"testing"
+
+	"dramscope/internal/sim"
+	"dramscope/internal/topo"
+)
+
+// refFaultsRow is the scalar reference definition of one wordline's
+// fault materialization: retention first, then full-neighborhood
+// hammer/press evaluation for EVERY cell through the per-coordinate
+// HammerFlips/PressFlips draws — no cached tables, no candidate
+// screening, no word skipping. The production kernel must agree with
+// it cell for cell.
+func refFaultsRow(c *Chip, bankID, wl int, pre, up, down []uint64,
+	dUpA, dDownA int64, dUpP, dDownP float64,
+	elapsed sim.Time, upOK, downOK bool) []uint64 {
+
+	out := append([]uint64(nil), pre...)
+	// A direction without a same-subarray neighbor has no aggressor
+	// wordline, so its counters can never accumulate: materialize
+	// computes zero deltas for it, and the reference must agree —
+	// PressFactor is nonzero even for an uncharged aggressor, so a
+	// phantom delta would add phantom stress.
+	if !upOK {
+		dUpA, dUpP = 0, 0
+	}
+	if !downOK {
+		dDownA, dDownP = 0, 0
+	}
+	hammerOn := float64(dUpA+dDownA)*c.maxHammerF >= c.fp.HammerMinStress
+	pressOn := (dUpP+dDownP)*c.maxPressF >= c.fp.PressMinStress
+	hasRet := elapsed > c.retMin
+	if !hammerOn && !pressOn && !hasRet {
+		return out
+	}
+	if !hammerOn {
+		dUpA, dDownA = 0, 0
+	}
+	if !pressOn {
+		dUpP, dDownP = 0, 0
+	}
+	var upC, downC []uint64
+	if upOK {
+		upC = up
+	}
+	if downOK {
+		downC = down
+	}
+	edge := c.topo.IsEdgeSubarray(c.topo.SubarrayOf(wl))
+	rs := &rowState{charge: append([]uint64(nil), pre...)}
+	for x := 0; x < c.prof.RowBits; x++ {
+		charged := getBit(rs.charge, x)
+		flip := charged && c.fp.RetentionFlips(bankID, wl, x, true, elapsed)
+		if !flip && (dUpA > 0 || dDownA > 0 || dUpP > 0 || dDownP > 0) {
+			hs, ps := c.cellStress(rs, wl, x, dUpA, dDownA, dUpP, dDownP, upC, downC, edge)
+			if hs > 0 && c.fp.HammerFlips(bankID, wl, x, hs) {
+				flip = true
+			}
+			if !flip && ps > 0 && c.fp.PressFlips(bankID, wl, x, ps) {
+				flip = true
+			}
+		}
+		if flip {
+			out[x>>6] ^= 1 << uint(x&63)
+		}
+	}
+	return out
+}
+
+// runFaultTrial stages one wordline with the given charges and
+// neighbor counter deltas on a Reset chip, materializes it through the
+// production kernel, and compares the result against the scalar
+// reference. Tables persist across Reset, so repeated trials on the
+// same wordlines exercise both the cold (table-building) and warm
+// (table-cached) paths.
+func runFaultTrial(t testing.TB, c *Chip, wl int, pre, up, down []uint64,
+	dUpA, dDownA int64, dUpP, dDownP float64, elapsed sim.Time) {
+
+	c.Reset()
+	b := c.banks[0]
+	rs := c.rowStateFor(b, wl)
+	copy(rs.charge, pre)
+
+	upWL, downWL := wl+1, wl-1
+	upOK := upWL < c.topo.PhysRows() && c.topo.SameSubarray(wl, upWL)
+	downOK := downWL >= 0 && c.topo.SameSubarray(wl, downWL)
+	if upOK {
+		copy(c.rowStateFor(b, upWL).charge, up)
+		b.acts[upWL] = dUpA
+		b.press[upWL] = dUpP
+	}
+	if downOK {
+		copy(c.rowStateFor(b, downWL).charge, down)
+		b.acts[downWL] = dDownA
+		b.press[downWL] = dDownP
+	}
+
+	want := refFaultsRow(c, 0, wl, pre, up, down, dUpA, dDownA, dUpP, dDownP, elapsed, upOK, downOK)
+	c.materialize(0, wl, elapsed) // lastRestore is 0, so t == elapsed
+	for w := range want {
+		if rs.charge[w] != want[w] {
+			t.Fatalf("wl %d word %d: kernel %#x, scalar reference %#x (dA=%d/%d dP=%g/%g elapsed=%v)",
+				wl, w, rs.charge[w], want[w], dUpA, dDownA, dUpP, dDownP, elapsed)
+		}
+	}
+}
+
+// xorshift is a tiny deterministic generator for trial patterns.
+type xorshift uint64
+
+func (s *xorshift) next() uint64 {
+	x := uint64(*s)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = xorshift(x)
+	return x
+}
+
+// patterns returns a charge row drawn from the generator: dense random
+// words, sparse words, or solid fills, so trials cover the word-skip
+// fast paths as well as the per-cell slow path.
+func trialRow(s *xorshift, words int) []uint64 {
+	row := make([]uint64, words)
+	switch s.next() % 4 {
+	case 0: // dense random
+		for w := range row {
+			row[w] = s.next()
+		}
+	case 1: // sparse
+		for i := uint64(0); i < 4; i++ {
+			row[s.next()%uint64(words)] = 1 << (s.next() % 64)
+		}
+	case 2: // solid ones
+		for w := range row {
+			row[w] = ^uint64(0)
+		}
+	default: // empty
+	}
+	return row
+}
+
+// The word-packed, table-cached fault kernel must agree cell for cell
+// with the scalar per-cell definition across seeds, charge patterns,
+// stress levels, and elapsed times — including sub-floor stresses that
+// the screening gates drop and huge ones where everything flips.
+func TestWordPackedFaultsMatchScalarReference(t *testing.T) {
+	actChoices := []int64{0, 500, 20_000, 300_000, 2_000_000}
+	pressChoices := []float64{0, 3e7, 2e8, 5e9}
+	elapsedChoices := []sim.Time{0, 20 * sim.Millisecond, 400 * sim.Millisecond, 30 * sim.Second, 5000 * sim.Second}
+
+	for seed := uint64(1); seed <= 4; seed++ {
+		c := MustNew(topo.Small(), seed)
+		s := xorshift(seed*0x9e3779b97f4a7c15 + 1)
+		// A small wordline set so later trials revisit wordlines whose
+		// tables the earlier trials built.
+		wls := []int{1, 2, 40, 41, 100, c.topo.PhysRows() - 2}
+		for trial := 0; trial < 60; trial++ {
+			wl := wls[s.next()%uint64(len(wls))]
+			pre := trialRow(&s, c.words)
+			up := trialRow(&s, c.words)
+			down := trialRow(&s, c.words)
+			runFaultTrial(t, c, wl,
+				pre, up, down,
+				actChoices[s.next()%uint64(len(actChoices))],
+				actChoices[s.next()%uint64(len(actChoices))],
+				pressChoices[s.next()%uint64(len(pressChoices))],
+				pressChoices[s.next()%uint64(len(pressChoices))],
+				elapsedChoices[s.next()%uint64(len(elapsedChoices))])
+		}
+	}
+}
+
+// FuzzWordPackedFaults lets the fuzzer search for charge patterns and
+// stress combinations where the screened kernel and the scalar
+// reference disagree.
+func FuzzWordPackedFaults(f *testing.F) {
+	f.Add(uint64(1), uint16(40), uint64(0xffffffffffffffff), uint64(0), uint64(0), uint32(300_000), uint32(0), uint64(0))
+	f.Add(uint64(2), uint16(2), uint64(0x8421084210842108), uint64(0xf), uint64(0xf0), uint32(20_000), uint32(200_000), uint64(30_000))
+	f.Add(uint64(3), uint16(100), uint64(1), uint64(1), uint64(1), uint32(0), uint32(0), uint64(5_000_000))
+	f.Fuzz(func(t *testing.T, seed uint64, wlRaw uint16, patA, patB, patC uint64, acts uint32, pressUs uint32, elapsedMs uint64) {
+		c := MustNew(topo.Small(), seed%8)
+		wl := 1 + int(wlRaw)%(c.topo.PhysRows()-2)
+		fill := func(pat uint64) []uint64 {
+			row := make([]uint64, c.words)
+			for w := range row {
+				row[w] = pat * (uint64(w)*2 + 1)
+			}
+			return row
+		}
+		runFaultTrial(t, c, wl, fill(patA), fill(patB), fill(patC),
+			int64(acts), int64(acts)/2,
+			float64(pressUs)*1e6, float64(pressUs)*5e5,
+			sim.Time(elapsedMs)*sim.Millisecond)
+	})
+}

@@ -111,21 +111,32 @@ func (a *AIB) Measure(cfg Run) (*Result, error) {
 	}
 
 	got := make([]uint64, h.Columns()) // readback buffer reused across victims
+	// PhysClass is a search over the recovered swizzle, not a lookup;
+	// resolve every burst bit once instead of once per observed cell.
+	var physClass []int
+	if a.Map != nil {
+		physClass = make([]int, h.DataWidth())
+		for b := range physClass {
+			physClass[b] = a.Map.PhysClass(b)
+		}
+	}
+	aggrPhys := make([]int, 0, 2)
+	aggrs := make([]int, 0, 2)
 	for _, p := range cfg.VictimPhys {
-		var aggrPhys []int
+		aggrPhys = aggrPhys[:0]
 		switch {
 		case cfg.Both:
-			aggrPhys = []int{p + 1, p - 1}
+			aggrPhys = append(aggrPhys, p+1, p-1)
 		case cfg.Side == AggrBelow:
-			aggrPhys = []int{p - 1}
+			aggrPhys = append(aggrPhys, p-1)
 		default:
-			aggrPhys = []int{p + 1}
+			aggrPhys = append(aggrPhys, p+1)
 		}
 		victim := a.Order.RowAt(p)
 		if err := h.WriteRow(a.Bank, victim, cfg.VictimData); err != nil {
 			return nil, err
 		}
-		var aggrs []int
+		aggrs = aggrs[:0]
 		for _, ap := range aggrPhys {
 			if ap < 0 || ap >= h.Rows() {
 				return nil, fmt.Errorf("core: victim at physical row %d lacks an aggressor at %d", p, ap)
@@ -173,7 +184,7 @@ func (a *AIB) Measure(cfg Run) (*Result, error) {
 				}
 				res.ByBit.Observe(b, e, 1)
 				if res.ByPhysClass != nil {
-					res.ByPhysClass.Observe(a.Map.PhysClass(b), e, 1)
+					res.ByPhysClass.Observe(physClass[b], e, 1)
 				}
 			}
 		}

@@ -127,3 +127,27 @@ func TestPooledCloneAllocations(t *testing.T) {
 		t.Fatalf("pooled Clone/Release allocates %.0f objects per cycle; the device is being rebuilt", allocs)
 	}
 }
+
+// BenchmarkEnvClone measures the pooled clone/release round trip the
+// suite runner performs once per job: with the pool warm it should be
+// a Reset (a few memclears) plus pool bookkeeping, not a device build.
+func BenchmarkEnvClone(b *testing.B) {
+	parent, err := NewEnv(topo.Small(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := parent.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := parent.Clone()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Release()
+	}
+}

@@ -316,10 +316,19 @@ func (p *Params) PressU(bank, wl, x int) float64 {
 // cell. Stress is the factor-weighted activation count summed over
 // directions; stress below HammerMinStress never flips.
 func (p *Params) HammerFlips(bank, wl, x int, stress float64) bool {
+	return p.HammerFlipsU(p.HammerU(bank, wl, x), stress)
+}
+
+// HammerFlipsU is HammerFlips with the cell's uniform draw supplied by
+// the caller. The chip's flip-threshold tables cache HammerU per cell
+// and decide through this function, so the cached path evaluates the
+// exact float expression the scalar path does — flip decisions are
+// bit-identical by construction, not by approximation.
+func (p *Params) HammerFlipsU(u, stress float64) bool {
 	if stress < p.HammerMinStress {
 		return false
 	}
-	return p.HammerU(bank, wl, x) < p.HammerBaseP*stress/p.HammerN0
+	return u < p.HammerBaseP*stress/p.HammerN0
 }
 
 // HammerThreshold returns the exact single-sided activation count at
@@ -340,10 +349,16 @@ func (p *Params) HammerThreshold(bank, wl, x int, f float64) float64 {
 // activation-on-time in act*picoseconds) flips the cell; stress below
 // PressMinStress never flips.
 func (p *Params) PressFlips(bank, wl, x int, stress float64) bool {
+	return p.PressFlipsU(p.PressU(bank, wl, x), stress)
+}
+
+// PressFlipsU is PressFlips with the cell's uniform draw supplied by
+// the caller (see HammerFlipsU).
+func (p *Params) PressFlipsU(u, stress float64) bool {
 	if stress < p.PressMinStress {
 		return false
 	}
-	return p.PressU(bank, wl, x) < p.PressBaseP*stress/p.PressS0
+	return u < p.PressBaseP*stress/p.PressS0
 }
 
 // MaxHammerFactor bounds HammerFactor over all neighborhoods; used to

@@ -51,18 +51,38 @@ func (b BER) String() string {
 }
 
 // Profile is a BER indexed by an integer key (bit index, distance,
-// pattern id, ...).
+// pattern id, ...). Small non-negative keys — bit indices, physical
+// classes, the common case on the per-cell accounting path — live in
+// a dense slice so Observe is an array index, not a map probe;
+// negative or large keys spill to a map.
 type Profile struct {
+	dense   []BER
+	seen    []bool
 	buckets map[int]*BER
 }
 
+// profileDenseLimit bounds the dense key range; anything above spills
+// to the map rather than ballooning the slice.
+const profileDenseLimit = 4096
+
 // NewProfile returns an empty profile.
 func NewProfile() *Profile {
-	return &Profile{buckets: make(map[int]*BER)}
+	return &Profile{}
 }
 
 // Observe records errors for a key.
 func (p *Profile) Observe(key int, errors, bits int64) {
+	if key >= 0 && key < profileDenseLimit {
+		if key >= len(p.dense) {
+			p.growDense(key)
+		}
+		p.dense[key].Observe(errors, bits)
+		p.seen[key] = true
+		return
+	}
+	if p.buckets == nil {
+		p.buckets = make(map[int]*BER)
+	}
 	b := p.buckets[key]
 	if b == nil {
 		b = &BER{}
@@ -71,8 +91,26 @@ func (p *Profile) Observe(key int, errors, bits int64) {
 	b.Observe(errors, bits)
 }
 
+func (p *Profile) growDense(key int) {
+	n := key + 1
+	if d := 2 * len(p.dense); n < d {
+		n = d
+	}
+	dense := make([]BER, n)
+	copy(dense, p.dense)
+	seen := make([]bool, n)
+	copy(seen, p.seen)
+	p.dense, p.seen = dense, seen
+}
+
 // Get returns the accumulator for a key.
 func (p *Profile) Get(key int) BER {
+	if key >= 0 && key < len(p.dense) {
+		if p.seen[key] {
+			return p.dense[key]
+		}
+		return BER{}
+	}
 	if b := p.buckets[key]; b != nil {
 		return *b
 	}
@@ -81,7 +119,12 @@ func (p *Profile) Get(key int) BER {
 
 // Keys returns the observed keys in ascending order.
 func (p *Profile) Keys() []int {
-	out := make([]int, 0, len(p.buckets))
+	out := make([]int, 0, len(p.dense)+len(p.buckets))
+	for k, ok := range p.seen {
+		if ok {
+			out = append(out, k)
+		}
+	}
 	for k := range p.buckets {
 		out = append(out, k)
 	}
@@ -92,6 +135,11 @@ func (p *Profile) Keys() []int {
 // Total returns the sum over all keys.
 func (p *Profile) Total() BER {
 	var t BER
+	for k, ok := range p.seen {
+		if ok {
+			t.Add(p.dense[k])
+		}
+	}
 	for _, b := range p.buckets {
 		t.Add(*b)
 	}
